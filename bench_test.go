@@ -1,0 +1,229 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one Benchmark per artifact, backed by internal/experiments at
+// the quick lab scale) plus micro-benchmarks of the substrate kernels. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The first figure benchmark to run pays for pre-training the shared lab's
+// surrogate; subsequent ones reuse the cached model and replays.
+package deepbat_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deepbat"
+	"deepbat/internal/arrival"
+	"deepbat/internal/batchopt"
+	"deepbat/internal/experiments"
+	"deepbat/internal/lambda"
+	"deepbat/internal/nn"
+	"deepbat/internal/qsim"
+	"deepbat/internal/tensor"
+	"deepbat/internal/trace"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.QuickLabConfig())
+	})
+	return benchLab
+}
+
+// benchExperiment runs one experiment per iteration (cached state in the
+// shared lab makes iterations after the first cheap).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(lab(), id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig1Sweeps(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig4ArrivalRates(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5IDC(b *testing.B)           { benchExperiment(b, "fig5") }
+func BenchmarkFig6AzureCost(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7Alibaba(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8VCRAlibaba(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9Synthetic(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10VCRSynthetic(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Configs(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12SLOSweep(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13CDFs(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14Attention(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig15aSeqLen(b *testing.B)      { benchExperiment(b, "fig15a") }
+func BenchmarkFig15bLayers(b *testing.B)      { benchExperiment(b, "fig15b") }
+func BenchmarkTimingSpeedup(b *testing.B)     { benchExperiment(b, "timing") }
+func BenchmarkAblations(b *testing.B)         { benchExperiment(b, "ablations") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkTensorMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 64, 64)
+	y := tensor.Randn(rng, 1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkTensorMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkEncoderForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	enc := nn.NewEncoder(rng, 2, 16, 32, 2, 0)
+	x := tensor.Randn(rng, 1, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Forward(x)
+	}
+}
+
+func BenchmarkEncoderTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	enc := nn.NewEncoder(rng, 2, 16, 32, 2, 0)
+	x := tensor.Randn(rng, 1, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := enc.Forward(x)
+		loss := tensor.SumAll(tensor.Mul(y, y))
+		tensor.Backward(loss)
+		for _, p := range enc.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+func BenchmarkQsimRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := arrival.NewGen(arrival.Poisson(100), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := g.SampleUntil(60)
+	sim := qsim.New(lambda.DefaultProfile(), lambda.DefaultPricing())
+	cfg := lambda.Config{MemoryMB: 2048, BatchSize: 8, TimeoutS: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(ts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ts)), "requests/op")
+}
+
+func BenchmarkBatchAnalyze(b *testing.B) {
+	m := arrival.MMPP2(150, 20, 1, 0.8)
+	a := batchopt.NewAnalyzer(lambda.DefaultProfile(), lambda.DefaultPricing())
+	cfg := lambda.Config{MemoryMB: 2048, BatchSize: 8, TimeoutS: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMAPSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := arrival.NewGen(arrival.MMPP2(100, 5, 0.5, 0.5), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkFitMMPP2(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := arrival.NewGen(arrival.MMPP2(100, 5, 0.2, 0.2), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := g.Sample(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arrival.FitMMPP2(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace.MustGenerate(trace.Spec{Name: "synthetic", Hours: 2, HourSeconds: 30, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkDecide measures one full DeepBAT decision (encode the window once
+// + score the whole grid) on the shared lab's pre-trained model — the
+// "milliseconds for identifying the configuration" path of Section IV-F.
+func BenchmarkDecide(b *testing.B) {
+	sys, err := lab().BaseSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter := lab().Trace("azure").Interarrivals()
+	window := inter[:sys.Model.Cfg.SeqLen]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Decide(window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBATCHDecide measures one full BATCH decision (MAP fit + solving
+// the analytical model for every grid configuration) for comparison against
+// BenchmarkDecide — this pair reproduces the Section IV-F speedup.
+func BenchmarkBATCHDecide(b *testing.B) {
+	inter := lab().Trace("azure").Interarrivals()
+	window := inter[:2000]
+	pl := batchopt.NewPipeline(lambda.DefaultProfile(), lambda.DefaultPricing(),
+		lab().Cfg.Grid, lab().Cfg.SLO)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Decide(window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridPredict isolates the encode-once fast path: scoring the full
+// candidate grid against a pre-encoded sequence.
+func BenchmarkGridPredict(b *testing.B) {
+	sys, err := lab().BaseSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter := lab().Trace("azure").Interarrivals()
+	window := inter[:sys.Model.Cfg.SeqLen]
+	cfgs := deepbat.DefaultGrid().Configs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Model.PredictGrid(window, cfgs)
+	}
+}

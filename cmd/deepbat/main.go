@@ -1,0 +1,228 @@
+// Command deepbat trains, inspects, and serves DeepBAT surrogate models.
+//
+// Subcommands:
+//
+//	train  — pre-train a surrogate on a synthetic workload and save it
+//	decide — load a model and print the optimized configuration for a window
+//	serve  — closed-loop trace replay with a chosen controller
+//
+// Run "deepbat <subcommand> -h" for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepbat"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "decide":
+		err = cmdDecide(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "deepbat: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deepbat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: deepbat <train|decide|serve> [flags]
+
+  train  -trace azure -hours 12 -hour-seconds 60 -samples 1500 -epochs 15 -seqlen 64 -slo 0.1 -out model.gob
+  decide -model model.gob -trace twitter -hour 3 -slo 0.1
+  serve  -model model.gob -trace alibaba -decider deepbat|batch|oracle|static -slo 0.1 [-finetune]`)
+}
+
+// traceFlags registers the shared trace-selection flags.
+func traceFlags(fs *flag.FlagSet) (name *string, hours *int, hourSeconds *float64, seed *int64) {
+	name = fs.String("trace", "azure", "workload: azure|twitter|alibaba|synthetic")
+	hours = fs.Int("hours", 12, "paper-hours of trace to generate")
+	hourSeconds = fs.Float64("hour-seconds", 60, "simulated seconds per paper-hour")
+	seed = fs.Int64("seed", 1, "trace generation seed")
+	return
+}
+
+func genTrace(name string, hours int, hourSeconds float64, seed int64) (*deepbat.Trace, error) {
+	return deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: name, Hours: hours, HourSeconds: hourSeconds, Seed: seed,
+	})
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name, hours, hourSeconds, seed := traceFlags(fs)
+	samples := fs.Int("samples", 1500, "training samples to label")
+	epochs := fs.Int("epochs", 15, "training epochs")
+	seqLen := fs.Int("seqlen", 64, "model input window length")
+	slo := fs.Float64("slo", 0.1, "latency SLO in seconds")
+	out := fs.String("out", "model.gob", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := genTrace(*name, *hours, *hourSeconds, *seed)
+	if err != nil {
+		return err
+	}
+	opts := deepbat.DefaultOptions()
+	opts.SLO = *slo
+	opts.DatasetSamples = *samples
+	opts.Train.Epochs = *epochs
+	opts.Model.SeqLen = *seqLen
+	opts.Train.Progress = func(epoch int, trainLoss, valLoss float64) {
+		fmt.Printf("epoch %3d  train %.5f  val %.5f\n", epoch, trainLoss, valLoss)
+	}
+	fmt.Printf("labeling %d samples from %s (%d arrivals)...\n", *samples, *name, len(tr.Timestamps))
+	start := time.Now()
+	sys, err := deepbat.Train(tr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d-parameter model in %s\n", sys.Model.NumParams(), time.Since(start).Round(time.Millisecond))
+	if err := sys.SaveModel(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s\n", *out)
+	return nil
+}
+
+func loadSystem(model string, slo float64) (*deepbat.System, error) {
+	opts := deepbat.DefaultOptions()
+	opts.SLO = slo
+	return deepbat.LoadSystem(model, opts)
+}
+
+func cmdDecide(args []string) error {
+	fs := flag.NewFlagSet("decide", flag.ExitOnError)
+	name, hours, hourSeconds, seed := traceFlags(fs)
+	model := fs.String("model", "model.gob", "trained model path")
+	hour := fs.Int("hour", 0, "paper-hour whose window to optimize for")
+	slo := fs.Float64("slo", 0.1, "latency SLO in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := loadSystem(*model, *slo)
+	if err != nil {
+		return err
+	}
+	tr, err := genTrace(*name, *hours, *hourSeconds, *seed)
+	if err != nil {
+		return err
+	}
+	inter := tr.Interarrivals()
+	l := sys.Model.Cfg.SeqLen
+	off := 0
+	if *hour > 0 {
+		// Find the first arrival of the hour and take the window before it.
+		hs := float64(*hour) * *hourSeconds
+		for off < len(tr.Timestamps) && tr.Timestamps[off] < hs {
+			off++
+		}
+	}
+	if off < l {
+		off = l
+	}
+	if off > len(inter) {
+		return fmt.Errorf("trace too short for a %d-arrival window", l)
+	}
+	window := inter[off-l : off]
+	start := time.Now()
+	dec, err := sys.Decide(window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decision in %s over %d configurations\n", time.Since(start).Round(time.Microsecond), dec.Evaluated)
+	fmt.Printf("  config:    %s (feasible=%v, effective SLO %.0fms)\n", dec.Config, dec.Feasible, dec.EffectiveSLO*1000)
+	fmt.Printf("  cost/req:  %.3f micro-USD\n", dec.Prediction.CostPerRequest*1e6)
+	for i, pct := range sys.Model.Cfg.Percentiles {
+		fmt.Printf("  P%-4g      %.1f ms\n", pct, dec.Prediction.Percentiles[i]*1000)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	name, hours, hourSeconds, seed := traceFlags(fs)
+	model := fs.String("model", "model.gob", "trained model path")
+	slo := fs.Float64("slo", 0.1, "latency SLO in seconds")
+	decider := fs.String("decider", "deepbat", "controller: deepbat|batch|oracle|static")
+	finetune := fs.Bool("finetune", false, "fine-tune on the first hour before serving")
+	periodS := fs.Float64("period", 10, "control period in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := loadSystem(*model, *slo)
+	if err != nil {
+		return err
+	}
+	tr, err := genTrace(*name, *hours, *hourSeconds, *seed)
+	if err != nil {
+		return err
+	}
+	if *finetune {
+		fmt.Println("fine-tuning on the first hour...")
+		if err := sys.FineTune(tr.FirstHours(1), 250); err != nil {
+			return err
+		}
+	}
+	opts := deepbat.ReplayOptions{
+		PeriodS:       *periodS,
+		DecideEvery:   1,
+		LookbackS:     *hourSeconds,
+		InitialConfig: deepbat.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+		SLO:           *slo,
+	}
+	var dec deepbat.Decider
+	switch *decider {
+	case "deepbat":
+		dec = sys.Decider()
+	case "batch":
+		dec = sys.BATCHBaseline()
+		opts.DecideEvery = int(*hourSeconds / *periodS)
+		if opts.DecideEvery < 1 {
+			opts.DecideEvery = 1
+		}
+	case "oracle":
+		dec = sys.Oracle()
+	case "static":
+		dec = sys.Static(opts.InitialConfig)
+	default:
+		return fmt.Errorf("unknown decider %q", *decider)
+	}
+	fmt.Printf("replaying %d arrivals of %s with %s...\n", len(tr.Timestamps), *name, dec.Name())
+	start := time.Now()
+	res, err := sys.Replay(tr.Timestamps, dec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  requests:        %d\n", len(res.Latencies()))
+	fmt.Printf("  VCR:             %.2f%% (SLO %.0fms)\n", res.VCR(), *slo*1000)
+	fmt.Printf("  cost/request:    %.3f micro-USD\n", res.CostPerRequest()*1e6)
+	fmt.Printf("  decisions:       %d ok, %d skipped (mean %s)\n",
+		res.Decisions, res.DecisionErrors, res.MeanDecisionTime().Round(time.Microsecond))
+	fmt.Println("  per-hour VCR:")
+	for h, v := range res.WindowVCR(*hourSeconds) {
+		fmt.Printf("    hour %2d: %6.2f%%\n", h, v)
+	}
+	return nil
+}

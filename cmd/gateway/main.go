@@ -1,0 +1,129 @@
+// Command gateway runs the real-time DeepBAT HTTP front-end: POST /infer to
+// submit an inference request (it is batched per the live configuration and
+// answered when its batch completes), GET /stats and GET /config to observe
+// the system. A trained model drives live reconfiguration.
+//
+//	gateway -model model.gob -addr :8080
+//	gateway -model model.gob -demo -demo-rate 200 -demo-duration 10s
+//
+// With -demo the command starts the server, drives synthetic Poisson traffic
+// against it, prints the resulting stats, and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"deepbat"
+	"deepbat/internal/gateway"
+	"deepbat/internal/lambda"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "model.gob", "trained model path")
+	slo := flag.Float64("slo", 0.1, "latency SLO in seconds")
+	decideEvery := flag.Duration("decide-every", 5*time.Second, "control period")
+	timeScale := flag.Float64("time-scale", 1.0, "backend wall-clock scale (0 = instant)")
+	demo := flag.Bool("demo", false, "self-drive synthetic traffic and exit")
+	demoRate := flag.Float64("demo-rate", 100, "demo traffic rate (req/s)")
+	demoDur := flag.Duration("demo-duration", 10*time.Second, "demo length")
+	flag.Parse()
+
+	sys, err := deepbat.LoadSystem(*model, optionsWithSLO(*slo))
+	if err != nil {
+		log.Fatalf("gateway: load model: %v (train one with: deepbat train)", err)
+	}
+	decide := func(window []float64) (lambda.Config, error) {
+		d, err := sys.Decide(window)
+		if err != nil {
+			return lambda.Config{}, err
+		}
+		return d.Config, nil
+	}
+	gw, err := gateway.New(
+		gateway.SimulatedBackend{
+			Profile:   deepbat.DefaultProfile(),
+			Pricing:   deepbat.DefaultPricing(),
+			TimeScale: *timeScale,
+		},
+		decide,
+		gateway.Config{
+			Initial:     lambda.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+			SLO:         *slo,
+			DecideEvery: *decideEvery,
+			WindowLen:   sys.Model.Cfg.SeqLen,
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	if *demo {
+		runDemo(gw, *demoRate, *demoDur)
+		return
+	}
+	fmt.Printf("gateway listening on %s (POST /infer, GET /stats, GET /config)\n", *addr)
+	if err := http.ListenAndServe(*addr, gw.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func optionsWithSLO(slo float64) deepbat.Options {
+	opts := deepbat.DefaultOptions()
+	opts.SLO = slo
+	return opts
+}
+
+// runDemo drives Poisson traffic at the gateway through a local HTTP server
+// and prints the final stats document.
+func runDemo(gw *gateway.Gateway, rate float64, dur time.Duration) {
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	fmt.Printf("demo: %g req/s for %s against %s\n", rate, dur, srv.URL)
+
+	rng := rand.New(rand.NewSource(1))
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	sent := 0
+	for time.Now().Before(deadline) {
+		wg.Add(1)
+		sent++
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/infer", "application/json", nil)
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+		}()
+		gap := rng.ExpFloat64() / rate
+		time.Sleep(time.Duration(gap * float64(time.Second)))
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats gateway.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fmt.Printf("demo: sent %d requests; final stats:\n", sent)
+	if err := enc.Encode(stats); err != nil {
+		log.Fatal(err)
+	}
+}

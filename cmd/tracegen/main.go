@@ -1,0 +1,95 @@
+// Command tracegen synthesizes the evaluation workloads (azure, twitter,
+// alibaba, synthetic) and prints them as CSV: either raw arrival timestamps,
+// the binned arrival-rate series (Fig. 4), or the hourly index of dispersion
+// (Fig. 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepbat"
+)
+
+func main() {
+	name := flag.String("name", "azure", "workload: azure|twitter|alibaba|synthetic (or 'all' for rate/idc)")
+	hours := flag.Int("hours", 24, "paper-hours to generate")
+	hourSeconds := flag.Float64("hour-seconds", 60, "simulated seconds per paper-hour")
+	seed := flag.Int64("seed", 1, "generation seed")
+	format := flag.String("format", "timestamps", "output: timestamps|rate|idc")
+	bin := flag.Float64("bin", 10, "bin width in seconds for -format rate")
+	flag.Parse()
+
+	if err := run(*name, *hours, *hourSeconds, *seed, *format, *bin); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, hours int, hourSeconds float64, seed int64, format string, bin float64) error {
+	names := []string{name}
+	if name == "all" {
+		names = deepbat.TraceNames()
+	}
+	traces := make([]*deepbat.Trace, len(names))
+	for i, n := range names {
+		tr, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+			Name: n, Hours: hours, HourSeconds: hourSeconds, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		traces[i] = tr
+	}
+
+	switch format {
+	case "timestamps":
+		if len(traces) != 1 {
+			return fmt.Errorf("-format timestamps requires a single trace")
+		}
+		fmt.Println("timestamp_s")
+		for _, ts := range traces[0].Timestamps {
+			fmt.Printf("%.6f\n", ts)
+		}
+	case "rate":
+		fmt.Printf("t_s,%s\n", strings.Join(names, ","))
+		series := make([][]deepbat.RatePoint, len(traces))
+		n := 0
+		for i, tr := range traces {
+			series[i] = tr.RateSeries(bin)
+			if len(series[i]) > n {
+				n = len(series[i])
+			}
+		}
+		for r := 0; r < n; r++ {
+			row := make([]string, 0, len(series)+1)
+			row = append(row, fmt.Sprintf("%.1f", float64(r)*bin))
+			for _, s := range series {
+				if r < len(s) {
+					row = append(row, fmt.Sprintf("%.3f", s[r].Rate))
+				} else {
+					row = append(row, "")
+				}
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	case "idc":
+		fmt.Printf("hour,%s\n", strings.Join(names, ","))
+		series := make([][]float64, len(traces))
+		for i, tr := range traces {
+			series[i] = tr.HourlyIDC(200)
+		}
+		for h := 0; h < hours; h++ {
+			row := []string{fmt.Sprintf("%d", h)}
+			for _, s := range series {
+				row = append(row, fmt.Sprintf("%.2f", s[h]))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

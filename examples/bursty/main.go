@@ -1,0 +1,92 @@
+// Bursty: the paper's out-of-distribution story (Sections IV-C/D). A model
+// pre-trained on the moderately bursty Azure workload is confronted with the
+// MAP-generated synthetic trace, whose hourly intensity swings wildly. We
+// replay the trace three ways — BATCH (hourly analytical refits), the
+// pre-trained DeepBAT, and DeepBAT fine-tuned on the first hour — and print
+// the per-hour SLO violation ratios (the Figs. 8/10 view).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepbat"
+)
+
+func main() {
+	const slo = 0.1
+	const hourS = 40.0
+	const hours = 8
+
+	azure, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "azure", Hours: hours, HourSeconds: hourS, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ood, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "synthetic", Hours: hours, HourSeconds: hourS, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := deepbat.DefaultOptions()
+	opts.Model.SeqLen = 32
+	opts.DatasetSamples = 400
+	opts.Train.Epochs = 8
+	opts.SLO = slo
+	fmt.Println("pre-training on azure...")
+	pre, err := deepbat.Train(azure, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	replayOpts := deepbat.ReplayOptions{
+		PeriodS:       hourS / 6,
+		DecideEvery:   1,
+		LookbackS:     hourS,
+		InitialConfig: deepbat.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+		SLO:           slo,
+	}
+
+	run := func(label string, sys *deepbat.System, dec deepbat.Decider, batchCadence bool) *deepbat.ReplayResult {
+		o := replayOpts
+		if batchCadence {
+			o.DecideEvery = 6 // once per paper-hour
+		}
+		start := time.Now()
+		res, err := sys.Replay(ood.Timestamps, dec, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s VCR %6.2f%%  cost %.3f u$/req  (replayed in %s)\n",
+			label, res.VCR(), res.CostPerRequest()*1e6, time.Since(start).Round(time.Millisecond))
+		return res
+	}
+
+	fmt.Println("\nreplaying the bursty synthetic trace:")
+	resBatch := run("BATCH (analytical):", pre, pre.BATCHBaseline(), true)
+	resPre := run("DeepBAT (no FT):", pre, pre.Decider(), false)
+
+	fmt.Println("\nfine-tuning on the first OOD hour...")
+	tuned, err := deepbat.Train(azure, opts) // fresh copy of the pre-trained weights
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tuned.FineTune(ood.FirstHours(1), 200); err != nil {
+		log.Fatal(err)
+	}
+	resTuned := run("DeepBAT (fine-tuned):", tuned, tuned.Decider(), false)
+
+	fmt.Println("\nper-hour VCR (%):")
+	fmt.Printf("%6s %10s %12s %14s\n", "hour", "BATCH", "DeepBAT", "DeepBAT+FT")
+	b := resBatch.WindowVCR(hourS)
+	p := resPre.WindowVCR(hourS)
+	t := resTuned.WindowVCR(hourS)
+	for h := 0; h < hours && h < len(b) && h < len(p) && h < len(t); h++ {
+		fmt.Printf("%6d %9.2f%% %11.2f%% %13.2f%%\n", h, b[h], p[h], t[h])
+	}
+	fmt.Println("\nexpected shape: BATCH spikes after intensity shifts; fine-tuned DeepBAT stays lowest.")
+}

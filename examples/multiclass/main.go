@@ -1,0 +1,94 @@
+// Multiclass: serve two inference model classes side by side (the MBS
+// direction the paper cites as the multi-class successor of BATCH): a speech
+// model with a 100 ms SLO on a diurnal workload and a lightweight vision
+// model with a 50 ms SLO on a steadier stream. Each class gets its own
+// DeepBAT controller; the coordinator demultiplexes the mixed request stream
+// and reports per-class outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepbat"
+	"deepbat/internal/core"
+	"deepbat/internal/lambda"
+	"deepbat/internal/multiclass"
+)
+
+func main() {
+	speechTrace, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "azure", Hours: 3, HourSeconds: 40, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	visionTrace, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "twitter", Hours: 3, HourSeconds: 40, Seed: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One DeepBAT system per class: the surrogate is trained against the
+	// class's own service-time profile.
+	speechSys := trainFor(speechTrace, lambda.Profiles["nlp-base"], 0.1)
+	visionSys := trainFor(visionTrace, lambda.Profiles["cnn-small"], 0.05)
+
+	opts := core.ReplayOptions{
+		PeriodS:       10,
+		DecideEvery:   1,
+		LookbackS:     40,
+		InitialConfig: deepbat.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+	}
+	coord, err := multiclass.NewCoordinator([]multiclass.Class{
+		{
+			Name:    "speech",
+			Profile: lambda.Profiles["nlp-base"],
+			Pricing: deepbat.DefaultPricing(),
+			SLO:     0.1,
+			Decider: speechSys.Decider(),
+			Options: opts,
+		},
+		{
+			Name:    "vision",
+			Profile: lambda.Profiles["cnn-small"],
+			Pricing: deepbat.DefaultPricing(),
+			SLO:     0.05,
+			Decider: visionSys.Decider(),
+			Options: opts,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := multiclass.MixStreams(map[string][]float64{
+		"speech": speechTrace.Timestamps,
+		"vision": visionTrace.Timestamps,
+	})
+	fmt.Printf("replaying a mixed stream of %d requests across 2 classes...\n\n", len(stream))
+	sum, err := coord.Replay(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sum.VCRTable())
+	fmt.Printf("\noverall: %d requests, worst-class VCR %.2f%%, mean VCR %.2f%%, %.3f micro-USD/request\n",
+		sum.Requests, sum.WorstVCR, sum.MeanVCR, sum.CostPerRequest()*1e6)
+}
+
+// trainFor trains a small per-class surrogate against the class profile.
+func trainFor(tr *deepbat.Trace, profile deepbat.Profile, slo float64) *deepbat.System {
+	opts := deepbat.DefaultOptions()
+	opts.Profile = profile
+	opts.SLO = slo
+	opts.Model.SeqLen = 32
+	opts.DatasetSamples = 300
+	opts.Train.Epochs = 8
+	fmt.Printf("training the %s-profile surrogate (SLO %.0fms)...\n", profile.Name, slo*1000)
+	sys, err := deepbat.Train(tr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}

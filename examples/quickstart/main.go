@@ -1,0 +1,66 @@
+// Quickstart: train a small DeepBAT surrogate on a synthetic Azure-like
+// workload, then ask it for the cheapest serverless configuration that keeps
+// the 95th-percentile latency under a 100 ms SLO.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepbat"
+)
+
+func main() {
+	// 1. Synthesize a training workload (6 paper-hours, 60 s each).
+	tr, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "azure", Hours: 6, HourSeconds: 60, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d arrivals over %d scaled hours\n", len(tr.Timestamps), tr.Spec.Hours)
+
+	// 2. Train the deep surrogate. Small settings keep this example quick;
+	// raise DatasetSamples/Epochs/SeqLen for production-quality accuracy.
+	opts := deepbat.DefaultOptions()
+	opts.Model.SeqLen = 32
+	opts.DatasetSamples = 400
+	opts.Train.Epochs = 8
+	opts.SLO = 0.1 // 100 ms on the 95th percentile
+
+	fmt.Println("training the surrogate (labeling windows with the simulator)...")
+	start := time.Now()
+	sys, err := deepbat.Train(tr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d parameters in %s\n\n", sys.Model.NumParams(), time.Since(start).Round(time.Millisecond))
+
+	// 3. Observe a recent window of interarrival times and decide.
+	inter := tr.Interarrivals()
+	window := inter[len(inter)-opts.Model.SeqLen:]
+
+	start = time.Now()
+	dec, err := sys.Decide(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized over %d configurations in %s:\n", dec.Evaluated, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("  chosen config:       %s\n", dec.Config)
+	fmt.Printf("  feasible under SLO:  %v\n", dec.Feasible)
+	fmt.Printf("  predicted cost:      %.3f micro-USD/request\n", dec.Prediction.CostPerRequest*1e6)
+	for i, pct := range sys.Model.Cfg.Percentiles {
+		fmt.Printf("  predicted P%-4g      %.1f ms\n", pct, dec.Prediction.Percentiles[i]*1000)
+	}
+
+	// 4. Check the decision against the ground-truth simulator.
+	res, err := sys.Simulator.Run(tr.Timestamps[len(tr.Timestamps)-2000:], dec.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated with the chosen config over the last 2000 arrivals:\n")
+	fmt.Printf("  measured P95:   %.1f ms (SLO %.0f ms)\n", res.LatencyPercentile(95)*1000, opts.SLO*1000)
+	fmt.Printf("  measured cost:  %.3f micro-USD/request\n", res.CostPerRequest()*1e6)
+	fmt.Printf("  mean batch:     %.2f requests/invocation\n", res.MeanBatchSize())
+}

@@ -1,0 +1,69 @@
+// Serving: run the full Fig. 2 pipeline — Workload Parser, Buffer, Deep
+// Surrogate + Optimizer, simulated Lambda — as an event-driven framework
+// over a diurnal workload, and compare it against a statically configured
+// deployment of the same application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepbat"
+	"deepbat/internal/stats"
+)
+
+func main() {
+	const slo = 0.1
+
+	// Train on the first half of the day, serve the second half.
+	day, err := deepbat.GenerateTrace(deepbat.TraceSpec{
+		Name: "azure", Hours: 12, HourSeconds: 60, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainTrace := day.FirstHours(6)
+	serveTrace := day.LastHours(6)
+
+	opts := deepbat.DefaultOptions()
+	opts.Model.SeqLen = 32
+	opts.DatasetSamples = 400
+	opts.Train.Epochs = 8
+	opts.SLO = slo
+	fmt.Println("training on the first 6 hours...")
+	sys, err := deepbat.Train(trainTrace, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	initial := deepbat.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05}
+
+	// DeepBAT-controlled framework: the parser feeds the optimizer, which
+	// reconfigures the buffer and function every 10 simulated seconds.
+	fw, err := sys.NewFramework(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw.DecidePeriodS = 10
+	fmt.Printf("serving %d requests through the framework...\n", len(serveTrace.Timestamps))
+	fw.Run(serveTrace.Timestamps)
+
+	// Static deployment for comparison: same initial config, never adapted.
+	static, err := sys.NewFramework(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static.Reconfigure = nil
+	static.Run(serveTrace.Timestamps)
+
+	report := func(name string, lat []float64, cost float64, reconf int) {
+		p95, _ := stats.Percentile(lat, 95)
+		fmt.Printf("%-22s P95 %6.1fms  VCR %6.2f%%  cost %.3f u$/req  reconfigs %d\n",
+			name, p95*1000, stats.VCR(lat, slo), cost/float64(len(lat))*1e6, reconf)
+	}
+	fmt.Println()
+	report("DeepBAT framework:", fw.Latencies(), fw.TotalCost(), fw.Reconfigurations)
+	report("static deployment:", static.Latencies(), static.TotalCost(), static.Reconfigurations)
+
+	fmt.Printf("\nfinal DeepBAT configuration: %s\n", fw.Config())
+}

@@ -1,0 +1,3 @@
+module deepbat
+
+go 1.22

@@ -1,0 +1,345 @@
+package batchopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepbat/internal/arrival"
+	"deepbat/internal/lambda"
+	"deepbat/internal/qsim"
+)
+
+func analyzer() *Analyzer {
+	return NewAnalyzer(lambda.DefaultProfile(), lambda.DefaultPricing())
+}
+
+func cfg(m float64, b int, t float64) lambda.Config {
+	return lambda.Config{MemoryMB: m, BatchSize: b, TimeoutS: t}
+}
+
+// simulate runs the ground-truth simulator over a long MAP sample.
+func simulate(t *testing.T, m *arrival.MAP, c lambda.Config, n int, seed int64) *qsim.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := arrival.NewGen(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := qsim.New(lambda.DefaultProfile(), lambda.DefaultPricing())
+	res, err := sim.Run(qsim.Timestamps(g.Sample(n)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzeInvalidConfig(t *testing.T) {
+	if _, err := analyzer().Analyze(arrival.Poisson(10), cfg(1024, 0, 0.1)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAnalyzeBatchSizeOne(t *testing.T) {
+	a := analyzer()
+	p, err := a.Analyze(arrival.Poisson(50), cfg(2048, 1, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := a.Profile.ServiceTime(2048, 1)
+	if math.Abs(p.Percentile(95)-svc) > 1e-12 {
+		t.Fatalf("B=1 P95 = %v, want service time %v", p.Percentile(95), svc)
+	}
+	if p.MeanBatchSize != 1 {
+		t.Fatalf("B=1 mean batch = %v", p.MeanBatchSize)
+	}
+	want := a.Pricing.CostPerRequest(2048, svc, 1)
+	if math.Abs(p.CostPerRequest-want) > 1e-15 {
+		t.Fatalf("B=1 cost = %v, want %v", p.CostPerRequest, want)
+	}
+}
+
+func TestAnalyzeZeroTimeout(t *testing.T) {
+	p, err := analyzer().Analyze(arrival.Poisson(50), cfg(2048, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanBatchSize != 1 {
+		t.Fatalf("T=0 should serve singletons, mean batch = %v", p.MeanBatchSize)
+	}
+}
+
+func TestAnalyzeMatchesSimulationPoisson(t *testing.T) {
+	// Core validation: analytic latency percentiles and cost should match
+	// long-run simulation of the same MAP.
+	m := arrival.Poisson(100)
+	c := cfg(2048, 8, 0.05)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 200000, 1)
+	for _, pct := range []float64{50, 90, 95, 99} {
+		ana := p.Percentile(pct)
+		emp := sim.LatencyPercentile(pct)
+		if math.Abs(ana-emp)/emp > 0.08 {
+			t.Fatalf("P%v: analytic %v vs simulated %v", pct, ana, emp)
+		}
+	}
+	if math.Abs(p.CostPerRequest-sim.CostPerRequest())/sim.CostPerRequest() > 0.05 {
+		t.Fatalf("cost: analytic %v vs simulated %v", p.CostPerRequest, sim.CostPerRequest())
+	}
+	if math.Abs(p.MeanBatchSize-sim.MeanBatchSize())/sim.MeanBatchSize() > 0.05 {
+		t.Fatalf("mean batch: analytic %v vs simulated %v", p.MeanBatchSize, sim.MeanBatchSize())
+	}
+}
+
+func TestAnalyzeMatchesSimulationMMPP(t *testing.T) {
+	m := arrival.MMPP2(150, 20, 1.0, 0.8)
+	c := cfg(1536, 6, 0.06)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 300000, 2)
+	for _, pct := range []float64{50, 95} {
+		ana := p.Percentile(pct)
+		emp := sim.LatencyPercentile(pct)
+		if math.Abs(ana-emp)/emp > 0.12 {
+			t.Fatalf("P%v: analytic %v vs simulated %v", pct, ana, emp)
+		}
+	}
+	if math.Abs(p.CostPerRequest-sim.CostPerRequest())/sim.CostPerRequest() > 0.10 {
+		t.Fatalf("cost: analytic %v vs simulated %v", p.CostPerRequest, sim.CostPerRequest())
+	}
+}
+
+func TestAnalyzeTimeoutDominatedRegime(t *testing.T) {
+	// Sparse traffic: batches almost never fill, everyone waits ~T.
+	m := arrival.Poisson(5)
+	c := cfg(2048, 32, 0.05)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 100000, 3)
+	ana, emp := p.Percentile(95), sim.LatencyPercentile(95)
+	if math.Abs(ana-emp)/emp > 0.10 {
+		t.Fatalf("P95: analytic %v vs simulated %v", ana, emp)
+	}
+	if p.MeanBatchSize > 2.5 {
+		t.Fatalf("sparse traffic mean batch = %v, want small", p.MeanBatchSize)
+	}
+}
+
+func TestAnalyzeCountDominatedRegime(t *testing.T) {
+	// Dense traffic: batches fill almost immediately.
+	m := arrival.Poisson(2000)
+	c := cfg(2048, 8, 0.5)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 200000, 4)
+	ana, emp := p.Percentile(95), sim.LatencyPercentile(95)
+	if math.Abs(ana-emp)/emp > 0.10 {
+		t.Fatalf("P95: analytic %v vs simulated %v", ana, emp)
+	}
+	if p.MeanBatchSize < 7.5 {
+		t.Fatalf("dense traffic mean batch = %v, want ~8", p.MeanBatchSize)
+	}
+}
+
+func TestAnalyzeMatchesSimulationErlang(t *testing.T) {
+	// Smoother-than-Poisson arrivals (SCV = 1/4).
+	m := arrival.Erlang(4, 120)
+	c := cfg(2048, 6, 0.06)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 200000, 11)
+	for _, pct := range []float64{50, 95} {
+		ana, emp := p.Percentile(pct), sim.LatencyPercentile(pct)
+		if math.Abs(ana-emp)/emp > 0.10 {
+			t.Fatalf("P%v: analytic %v vs simulated %v", pct, ana, emp)
+		}
+	}
+}
+
+func TestAnalyzeMatchesSimulationHyperExp(t *testing.T) {
+	// Burstier-than-Poisson renewal arrivals.
+	m := arrival.HyperExp(0.3, 400, 40)
+	c := cfg(2048, 8, 0.08)
+	p, err := analyzer().Analyze(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate(t, m, c, 200000, 12)
+	for _, pct := range []float64{50, 95} {
+		ana, emp := p.Percentile(pct), sim.LatencyPercentile(pct)
+		if math.Abs(ana-emp)/emp > 0.12 {
+			t.Fatalf("P%v: analytic %v vs simulated %v", pct, ana, emp)
+		}
+	}
+	if math.Abs(p.CostPerRequest-sim.CostPerRequest())/sim.CostPerRequest() > 0.10 {
+		t.Fatalf("cost: analytic %v vs simulated %v", p.CostPerRequest, sim.CostPerRequest())
+	}
+}
+
+func TestAnalyzeConvergesWithGridResolution(t *testing.T) {
+	// Halving the discretization step should move the estimate toward the
+	// fine-grid value, and coarse/fine estimates must agree reasonably.
+	m := arrival.MMPP2(150, 20, 1.0, 0.8)
+	c := cfg(2048, 8, 0.06)
+	vals := map[int]float64{}
+	for _, g := range []int{48, 96, 384} {
+		a := analyzer()
+		a.GridSteps = g
+		p, err := a.Analyze(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[g] = p.Percentile(95)
+	}
+	coarseErr := math.Abs(vals[48] - vals[384])
+	midErr := math.Abs(vals[96] - vals[384])
+	if midErr > coarseErr+1e-9 {
+		t.Fatalf("refinement did not converge: |48-384|=%v, |96-384|=%v", coarseErr, midErr)
+	}
+	if coarseErr/vals[384] > 0.15 {
+		t.Fatalf("coarse grid too far off: %v vs %v", vals[48], vals[384])
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	p, err := analyzer().Analyze(arrival.Poisson(100), cfg(2048, 8, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, pct := range []float64{10, 25, 50, 75, 90, 95, 99} {
+		v := p.Percentile(pct)
+		if v < prev {
+			t.Fatalf("percentiles not monotone at P%v: %v < %v", pct, v, prev)
+		}
+		prev = v
+	}
+	if p.Mean() <= 0 {
+		t.Fatal("mean latency must be positive")
+	}
+}
+
+func TestOptimizeRespectsSLO(t *testing.T) {
+	m := arrival.Poisson(100)
+	a := analyzer()
+	grid := lambda.Grid{
+		Memories:  []float64{1024, 2048, 4096},
+		Batches:   []int{1, 4, 8},
+		TimeoutsS: []float64{0.01, 0.05, 0.1},
+	}
+	best, pred, err := a.Optimize(m, grid, 0.1, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Percentile(95) > 0.1 {
+		t.Fatalf("optimizer violated SLO: %v with %v", pred.Percentile(95), best)
+	}
+	// Must be the cheapest feasible config.
+	for _, c := range grid.Configs() {
+		p, err := a.Analyze(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Percentile(95) <= 0.1 && p.CostPerRequest < pred.CostPerRequest-1e-15 {
+			t.Fatalf("config %v feasible and cheaper (%v < %v)", c, p.CostPerRequest, pred.CostPerRequest)
+		}
+	}
+}
+
+func TestOptimizeInfeasibleFallsBack(t *testing.T) {
+	m := arrival.Poisson(100)
+	grid := lambda.Grid{Memories: []float64{512}, Batches: []int{16}, TimeoutsS: []float64{0.5}}
+	best, pred, err := analyzer().Optimize(m, grid, 1e-9, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Valid() || pred == nil {
+		t.Fatal("fallback should still pick a configuration")
+	}
+}
+
+func TestOptimizeEmptyGrid(t *testing.T) {
+	if _, _, err := analyzer().Optimize(arrival.Poisson(1), lambda.Grid{}, 0.1, 95); err == nil {
+		t.Fatal("expected error for empty grid")
+	}
+}
+
+func TestPipelineDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := arrival.NewGen(arrival.MMPP2(120, 10, 0.5, 0.5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := g.Sample(5000)
+	grid := lambda.Grid{
+		Memories:  []float64{1024, 2048},
+		Batches:   []int{1, 4, 8},
+		TimeoutsS: []float64{0.02, 0.05},
+	}
+	pl := NewPipeline(lambda.DefaultProfile(), lambda.DefaultPricing(), grid, 0.1)
+	rep, err := pl.Decide(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fit == nil || rep.Prediction == nil || !rep.Config.Valid() {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	if rep.Prediction.Percentile(95) > 0.1 {
+		t.Fatalf("pipeline violated predicted SLO: %v", rep.Prediction.Percentile(95))
+	}
+}
+
+func TestPipelineDecideTooFewSamples(t *testing.T) {
+	pl := NewPipeline(lambda.DefaultProfile(), lambda.DefaultPricing(), lambda.DefaultGrid(), 0.1)
+	if _, err := pl.Decide([]float64{1, 2}); err == nil {
+		t.Fatal("expected fitting error")
+	}
+}
+
+func TestBatchingTradeoffVisibleAnalytically(t *testing.T) {
+	// The analytic model must reproduce the Fig. 1 trade-offs.
+	a := analyzer()
+	m := arrival.Poisson(100)
+	pSmall, err := a.Analyze(m, cfg(2048, 1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBig, err := a.Analyze(m, cfg(2048, 16, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBig.CostPerRequest >= pSmall.CostPerRequest {
+		t.Fatalf("batching should cut analytic cost: %v vs %v", pBig.CostPerRequest, pSmall.CostPerRequest)
+	}
+	if pBig.Percentile(95) <= pSmall.Percentile(95) {
+		t.Fatalf("batching should raise analytic latency: %v vs %v", pBig.Percentile(95), pSmall.Percentile(95))
+	}
+}
+
+func TestTotalWeightIsRequestsPerCycle(t *testing.T) {
+	a := analyzer()
+	p, err := a.Analyze(arrival.Poisson(100), cfg(2048, 4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range p.weights {
+		total += w
+	}
+	// E[requests per cycle] must be at least 1 (the opening request) and at
+	// most B.
+	if total < 0.95 || total > 4.05 {
+		t.Fatalf("total probability mass = %v, want within [1, B]", total)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+
+	"deepbat/internal/batchopt"
+	"deepbat/internal/lambda"
+	"deepbat/internal/optimizer"
+	"deepbat/internal/qsim"
+)
+
+// Decider selects a configuration at a control point. It receives the
+// interarrival times observed over the lookback history (most recent last)
+// and, for oracle baselines only, the interarrivals of the upcoming control
+// period.
+type Decider interface {
+	Name() string
+	Decide(past, future []float64) (lambda.Config, error)
+}
+
+// DeepBATDecider wraps the surrogate-based optimizer: it feeds the most
+// recent model-window of interarrivals to the deep surrogate and picks the
+// cheapest SLO-feasible configuration.
+type DeepBATDecider struct {
+	Opt *optimizer.Optimizer
+	// LastDecision records the most recent optimizer output.
+	LastDecision optimizer.Decision
+}
+
+// NewDeepBATDecider builds the DeepBAT controller.
+func NewDeepBATDecider(opt *optimizer.Optimizer) *DeepBATDecider {
+	return &DeepBATDecider{Opt: opt}
+}
+
+// Name implements Decider.
+func (d *DeepBATDecider) Name() string { return "DeepBAT" }
+
+// Decide implements Decider; the future window is ignored.
+func (d *DeepBATDecider) Decide(past, _ []float64) (lambda.Config, error) {
+	l := d.Opt.Model.Cfg.SeqLen
+	if len(past) < l {
+		return lambda.Config{}, errors.New("core: not enough history for the model window")
+	}
+	dec, err := d.Opt.Decide(past[len(past)-l:])
+	if err != nil {
+		return lambda.Config{}, err
+	}
+	d.LastDecision = dec
+	return dec.Config, nil
+}
+
+// BATCHDecider wraps the analytical baseline: it fits a MAP to the full
+// lookback history (the previous control period, as the paper's hourly
+// refits) and optimizes the grid against the analytical model.
+type BATCHDecider struct {
+	Pipeline *batchopt.Pipeline
+	// MinSamples guards the MAP fit; with fewer observations the previous
+	// configuration is kept (fitting "can take from a few minutes to an
+	// hour depending on the workload intensity").
+	MinSamples int
+	// LastReport records the most recent pipeline output.
+	LastReport *batchopt.Report
+}
+
+// NewBATCHDecider builds the BATCH baseline controller.
+func NewBATCHDecider(pl *batchopt.Pipeline) *BATCHDecider {
+	return &BATCHDecider{Pipeline: pl, MinSamples: 64}
+}
+
+// Name implements Decider.
+func (b *BATCHDecider) Name() string { return "BATCH" }
+
+// Decide implements Decider; the future window is ignored.
+func (b *BATCHDecider) Decide(past, _ []float64) (lambda.Config, error) {
+	if len(past) < b.MinSamples {
+		return lambda.Config{}, errors.New("core: not enough samples for MAP fitting")
+	}
+	rep, err := b.Pipeline.Decide(past)
+	if err != nil {
+		return lambda.Config{}, err
+	}
+	b.LastReport = rep
+	return rep.Config, nil
+}
+
+// OracleDecider is the ground-truth controller: it exhaustively simulates
+// the upcoming window and returns the truly optimal configuration. It is the
+// "ground truth" series of the paper's figures.
+type OracleDecider struct {
+	Sim  *qsim.Simulator
+	Grid lambda.Grid
+	SLO  float64
+	Pct  float64
+}
+
+// NewOracleDecider builds the oracle.
+func NewOracleDecider(sim *qsim.Simulator, grid lambda.Grid, slo float64) *OracleDecider {
+	return &OracleDecider{Sim: sim, Grid: grid, SLO: slo, Pct: 95}
+}
+
+// Name implements Decider.
+func (o *OracleDecider) Name() string { return "GroundTruth" }
+
+// Decide implements Decider using only the future window.
+func (o *OracleDecider) Decide(_, future []float64) (lambda.Config, error) {
+	if len(future) == 0 {
+		return lambda.Config{}, errors.New("core: oracle needs the upcoming window")
+	}
+	cfg, _, err := o.Sim.GroundTruthBest(qsim.Timestamps(future), o.Grid, o.SLO, o.Pct)
+	return cfg, err
+}
+
+// StaticDecider always returns a fixed configuration.
+type StaticDecider struct {
+	Cfg lambda.Config
+}
+
+// Name implements Decider.
+func (s StaticDecider) Name() string { return "Static" }
+
+// Decide implements Decider.
+func (s StaticDecider) Decide(_, _ []float64) (lambda.Config, error) { return s.Cfg, nil }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"deepbat/internal/batchopt"
+	"deepbat/internal/lambda"
+	"deepbat/internal/qsim"
+)
+
+func smallGrid() lambda.Grid {
+	return lambda.Grid{
+		Memories:  []float64{1024, 2048},
+		Batches:   []int{1, 4},
+		TimeoutsS: []float64{0.02, 0.08},
+	}
+}
+
+func TestBATCHDeciderRequiresSamples(t *testing.T) {
+	pl := batchopt.NewPipeline(lambda.DefaultProfile(), lambda.DefaultPricing(), smallGrid(), 0.1)
+	d := NewBATCHDecider(pl)
+	if d.Name() != "BATCH" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	if _, err := d.Decide(make([]float64, d.MinSamples-1), nil); err == nil {
+		t.Fatal("expected error below MinSamples")
+	}
+	// Enough uniform samples: a Poisson-ish fit, decision succeeds.
+	past := make([]float64, 500)
+	for i := range past {
+		past[i] = 0.01
+	}
+	cfg, err := d.Decide(past, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Valid() {
+		t.Fatalf("config = %v", cfg)
+	}
+	if d.LastReport == nil || d.LastReport.Fit == nil {
+		t.Fatal("report not recorded")
+	}
+}
+
+func TestOracleDeciderNeedsFuture(t *testing.T) {
+	sim := qsim.New(lambda.DefaultProfile(), lambda.DefaultPricing())
+	d := NewOracleDecider(sim, smallGrid(), 0.1)
+	if d.Name() != "GroundTruth" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	if _, err := d.Decide(nil, nil); err == nil {
+		t.Fatal("expected error without a future window")
+	}
+	future := make([]float64, 200)
+	for i := range future {
+		future[i] = 0.01
+	}
+	cfg, err := d.Decide(nil, future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Valid() {
+		t.Fatalf("config = %v", cfg)
+	}
+}
+
+func TestStaticDecider(t *testing.T) {
+	want := lambda.Config{MemoryMB: 2048, BatchSize: 2, TimeoutS: 0.05}
+	d := StaticDecider{Cfg: want}
+	got, err := d.Decide(nil, nil)
+	if err != nil || got != want {
+		t.Fatalf("static decide = %v err %v", got, err)
+	}
+	if d.Name() != "Static" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"deepbat/internal/lambda"
+	"deepbat/internal/qsim"
+	"deepbat/internal/stats"
+)
+
+// ReplayOptions controls a trace replay with periodic reconfiguration.
+type ReplayOptions struct {
+	// PeriodS is the control period: the decider runs every DecideEvery
+	// periods and the chosen configuration serves the following periods.
+	PeriodS float64
+	// DecideEvery is the number of periods between decisions (BATCH decides
+	// hourly; DeepBAT every period). Minimum 1.
+	DecideEvery int
+	// LookbackS is how much arrival history (seconds) the decider sees.
+	LookbackS float64
+	// InitialConfig serves traffic until the first successful decision.
+	InitialConfig lambda.Config
+	// SLO is used for per-period VCR accounting.
+	SLO float64
+}
+
+// DefaultReplayOptions returns a replay configuration matched to the scaled
+// traces (10 s control periods, one paper-hour lookback at 60 s/hour).
+func DefaultReplayOptions(slo float64) ReplayOptions {
+	return ReplayOptions{
+		PeriodS:       10,
+		DecideEvery:   1,
+		LookbackS:     60,
+		InitialConfig: lambda.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+		SLO:           slo,
+	}
+}
+
+// PeriodResult is the outcome of one control period.
+type PeriodResult struct {
+	StartS    float64
+	Config    lambda.Config
+	Requests  int
+	Latencies []float64
+	Cost      float64
+	VCR       float64
+	// Decided reports whether a fresh decision was applied this period.
+	Decided bool
+	// DecisionTime is the wall-clock cost of the decision, if one was made.
+	DecisionTime time.Duration
+}
+
+// ReplayResult aggregates a full replay.
+type ReplayResult struct {
+	Decider string
+	SLO     float64
+	Periods []PeriodResult
+	// Decisions counts successful decider invocations; DecisionErrors the
+	// failed ones (configuration kept).
+	Decisions      int
+	DecisionErrors int
+	TotalDecision  time.Duration
+}
+
+// Latencies concatenates every period's latencies.
+func (r *ReplayResult) Latencies() []float64 {
+	var out []float64
+	for _, p := range r.Periods {
+		out = append(out, p.Latencies...)
+	}
+	return out
+}
+
+// TotalCost sums invocation costs across periods.
+func (r *ReplayResult) TotalCost() float64 {
+	var s float64
+	for _, p := range r.Periods {
+		s += p.Cost
+	}
+	return s
+}
+
+// CostPerRequest returns the overall average cost per request.
+func (r *ReplayResult) CostPerRequest() float64 {
+	n := 0
+	for _, p := range r.Periods {
+		n += p.Requests
+	}
+	if n == 0 {
+		return 0
+	}
+	return r.TotalCost() / float64(n)
+}
+
+// VCR returns the overall SLO violation count ratio (percent).
+func (r *ReplayResult) VCR() float64 { return stats.VCR(r.Latencies(), r.SLO) }
+
+// WindowVCR aggregates VCR over consecutive windows of the given length
+// (e.g. one paper-hour), as plotted in Figs. 8 and 10.
+func (r *ReplayResult) WindowVCR(windowS float64) []float64 {
+	if windowS <= 0 || len(r.Periods) == 0 {
+		return nil
+	}
+	last := r.Periods[len(r.Periods)-1]
+	horizon := last.StartS + 1
+	n := int(horizon/windowS) + 1
+	buckets := make([][]float64, n)
+	for _, p := range r.Periods {
+		i := int(p.StartS / windowS)
+		if i >= n {
+			i = n - 1
+		}
+		buckets[i] = append(buckets[i], p.Latencies...)
+	}
+	out := make([]float64, 0, n)
+	for _, b := range buckets {
+		out = append(out, stats.VCR(b, r.SLO))
+	}
+	return out
+}
+
+// MeanDecisionTime returns the average wall-clock decision latency.
+func (r *ReplayResult) MeanDecisionTime() time.Duration {
+	if r.Decisions == 0 {
+		return 0
+	}
+	return r.TotalDecision / time.Duration(r.Decisions)
+}
+
+// Engine replays traces against deciders using the ground-truth simulator
+// for the data plane.
+type Engine struct {
+	Sim *qsim.Simulator
+}
+
+// NewEngine returns an engine over the simulator.
+func NewEngine(sim *qsim.Simulator) *Engine { return &Engine{Sim: sim} }
+
+// Replay partitions the arrival timestamps into control periods; before each
+// decision period it hands the decider the lookback interarrivals (and the
+// upcoming period, for oracles), then serves the period's traffic with the
+// active configuration through the batching simulator.
+//
+// Batches never span period boundaries, a deliberate simplification: at the
+// trace scales used here a period holds hundreds of batches, so the boundary
+// effect is negligible.
+func (e *Engine) Replay(arrivals []float64, dec Decider, opts ReplayOptions) (*ReplayResult, error) {
+	if len(arrivals) == 0 {
+		return nil, errors.New("core: empty trace")
+	}
+	if opts.PeriodS <= 0 {
+		return nil, errors.New("core: PeriodS must be positive")
+	}
+	if opts.DecideEvery < 1 {
+		opts.DecideEvery = 1
+	}
+	if !opts.InitialConfig.Valid() {
+		return nil, errors.New("core: invalid initial configuration")
+	}
+	res := &ReplayResult{Decider: dec.Name(), SLO: opts.SLO}
+	horizon := arrivals[len(arrivals)-1]
+	nPeriods := int(horizon/opts.PeriodS) + 1
+	cfg := opts.InitialConfig
+
+	idx := 0
+	for p := 0; p < nPeriods; p++ {
+		start := float64(p) * opts.PeriodS
+		end := start + opts.PeriodS
+		// Slice this period's arrivals.
+		lo := idx
+		for idx < len(arrivals) && arrivals[idx] < end {
+			idx++
+		}
+		window := arrivals[lo:idx]
+
+		pr := PeriodResult{StartS: start}
+		if p%opts.DecideEvery == 0 {
+			past := lookbackInterarrivals(arrivals, lo, start, opts.LookbackS)
+			future := qsim.Interarrivals(rebase(window, start))
+			t0 := time.Now()
+			newCfg, err := dec.Decide(past, future)
+			dt := time.Since(t0)
+			if err == nil && newCfg.Valid() {
+				cfg = newCfg
+				pr.Decided = true
+				pr.DecisionTime = dt
+				res.Decisions++
+				res.TotalDecision += dt
+			} else {
+				res.DecisionErrors++
+			}
+		}
+		pr.Config = cfg
+		pr.Requests = len(window)
+		if len(window) > 0 {
+			sim, err := e.Sim.Run(window, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pr.Latencies = sim.Latencies
+			pr.Cost = sim.TotalCost
+			pr.VCR = stats.VCR(sim.Latencies, opts.SLO)
+		}
+		res.Periods = append(res.Periods, pr)
+	}
+	return res, nil
+}
+
+// lookbackInterarrivals returns the interarrival times of the arrivals in
+// [start-lookback, start), most recent last.
+func lookbackInterarrivals(arrivals []float64, hi int, start, lookback float64) []float64 {
+	lo := hi
+	cut := start - lookback
+	for lo > 0 && arrivals[lo-1] >= cut {
+		lo--
+	}
+	if hi-lo < 2 {
+		return nil
+	}
+	win := arrivals[lo:hi]
+	out := make([]float64, len(win)-1)
+	for i := 1; i < len(win); i++ {
+		out[i-1] = win[i] - win[i-1]
+	}
+	return out
+}
+
+// rebase shifts timestamps so the period starts at zero.
+func rebase(ts []float64, start float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = t - start
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedLab is reused across tests so the expensive pre-training happens
+// once per test binary.
+var sharedLab = NewLab(QuickLabConfig())
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"ablations",
+		"fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15a", "fig15b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"timing",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run(sharedLab, "fig99"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Cols: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") {
+		t.Fatalf("table rendering: %q", out)
+	}
+	r := &Report{ID: "x", Title: "y"}
+	r.AddTable("t", "c").AddRow("v")
+	r.AddNote("hello %d", 42)
+	s := r.String()
+	if !strings.Contains(s, "== x: y ==") || !strings.Contains(s, "hello 42") {
+		t.Fatalf("report rendering: %q", s)
+	}
+}
+
+func TestWorkloadExperiments(t *testing.T) {
+	for _, id := range []string{"fig1", "fig4", "fig5"} {
+		rep, err := Run(sharedLab, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+func TestComparisonExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop replays are slow")
+	}
+	for _, id := range []string{"fig6", "fig7", "fig8"} {
+		rep, err := Run(sharedLab, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+		nonEmpty := false
+		for _, tb := range rep.Tables {
+			if len(tb.Rows) > 0 {
+				nonEmpty = true
+			}
+		}
+		if !nonEmpty {
+			t.Fatalf("%s: all tables empty", id)
+		}
+	}
+}
+
+func TestSyntheticExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop replays are slow")
+	}
+	for _, id := range []string{"fig9", "fig10", "fig11"} {
+		rep, err := Run(sharedLab, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+	}
+}
+
+func TestDistributionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training is slow")
+	}
+	for _, id := range []string{"fig13", "fig14"} {
+		rep, err := Run(sharedLab, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+func TestSLOSweepExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop replays are slow")
+	}
+	rep, err := Run(sharedLab, "fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) < 2 {
+		t.Fatalf("fig12 tables = %d", len(rep.Tables))
+	}
+	if len(rep.Tables[1].Rows) != 3 {
+		t.Fatalf("fig12 SLO sweep rows = %d, want 3", len(rep.Tables[1].Rows))
+	}
+}
+
+func TestSensitivityExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-setting training is slow")
+	}
+	for _, id := range []string{"fig15a", "fig15b"} {
+		rep, err := Run(sharedLab, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables[0].Rows) != 4 {
+			t.Fatalf("%s rows = %d, want 4", id, len(rep.Tables[0].Rows))
+		}
+	}
+}
+
+func TestAblationsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-variant training is slow")
+	}
+	rep, err := Run(sharedLab, "ablations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("ablations tables = %d, want 2", len(rep.Tables))
+	}
+	if len(rep.Tables[0].Rows) != 5 {
+		t.Fatalf("ablation variants = %d, want 5", len(rep.Tables[0].Rows))
+	}
+}
+
+func TestTimingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BATCH analytic optimization is slow")
+	}
+	rep, err := Run(sharedLab, "timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 2 {
+		t.Fatalf("timing rows = %d", len(rep.Tables[0].Rows))
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "speedup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("timing report lacks speedup note")
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	l := NewLab(QuickLabConfig())
+	a := l.Trace("twitter")
+	b := l.Trace("twitter")
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"deepbat"
+	"deepbat/internal/core"
+)
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := pearson(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self-correlation = %v", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := pearson(a, b); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti-correlation = %v", got)
+	}
+	if got := pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant series correlation = %v", got)
+	}
+	if got := pearson(a, []float64{1}); got != 0 {
+		t.Fatalf("length mismatch = %v", got)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{9, 8, 7, 1, 2, 3}
+	b := []float64{9, 8, 7, 1, 2, 3}
+	if got := topKOverlap(a, b, 3); got != 1 {
+		t.Fatalf("identical top-3 overlap = %v", got)
+	}
+	c := []float64{1, 2, 3, 9, 8, 7}
+	if got := topKOverlap(a, c, 3); got != 0 {
+		t.Fatalf("disjoint top-3 overlap = %v", got)
+	}
+	if got := topKOverlap(a, c, 0); got != 0 {
+		t.Fatalf("k=0 overlap = %v", got)
+	}
+	if got := topKOverlap(a, []float64{1}, 3); got != 0 {
+		t.Fatalf("short input overlap = %v", got)
+	}
+}
+
+func TestPeriodsInAndCostBetween(t *testing.T) {
+	res := &deepbat.ReplayResult{SLO: 0.1, Periods: []core.PeriodResult{
+		{StartS: 0, Requests: 2, Cost: 2e-6, Latencies: []float64{0.05, 0.2}},
+		{StartS: 10, Requests: 1, Cost: 4e-6, Latencies: []float64{0.05}},
+		{StartS: 20, Requests: 1, Cost: 8e-6, Latencies: []float64{0.3}},
+	}}
+	idx := periodsIn(res, 0, 20)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("periodsIn = %v", idx)
+	}
+	// costBetween over the first two periods: 6e-6 over 3 requests.
+	if got := costBetween(res, 0, 20); math.Abs(got-2e-6) > 1e-18 {
+		t.Fatalf("costBetween = %v", got)
+	}
+	if got := costBetween(res, 100, 200); got != 0 {
+		t.Fatalf("costBetween empty = %v", got)
+	}
+	// vcrAfter from 10: latencies {0.05, 0.3} -> 50%.
+	if got := vcrAfter(res, 10); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("vcrAfter = %v", got)
+	}
+	if got := costAfter(res, 10); math.Abs(got-6e-6) > 1e-18 {
+		t.Fatalf("costAfter = %v", got)
+	}
+}
+
+func TestFig13ConfigPerTrace(t *testing.T) {
+	for _, name := range []string{"azure", "twitter", "alibaba", "synthetic"} {
+		cfg := fig13Config(name)
+		if !cfg.Valid() {
+			t.Fatalf("%s: invalid fig13 config %+v", name, cfg)
+		}
+	}
+	if fig13Config("alibaba") == fig13Config("azure") {
+		t.Fatal("alibaba should use a distinct configuration")
+	}
+}
+
+func TestReplayResultHelpers(t *testing.T) {
+	res := &deepbat.ReplayResult{SLO: 0.1,
+		Decisions: 2, TotalDecision: 10 * time.Millisecond,
+		Periods: []core.PeriodResult{{StartS: 0, Requests: 1, Latencies: []float64{0.05}, Cost: 1e-6}},
+	}
+	if res.MeanDecisionTime() != 5*time.Millisecond {
+		t.Fatalf("MeanDecisionTime = %v", res.MeanDecisionTime())
+	}
+	if res.CostPerRequest() != 1e-6 {
+		t.Fatalf("CostPerRequest = %v", res.CostPerRequest())
+	}
+	empty := &deepbat.ReplayResult{}
+	if empty.MeanDecisionTime() != 0 || empty.CostPerRequest() != 0 || empty.VCR() != 0 {
+		t.Fatal("empty replay helpers should be zero")
+	}
+}

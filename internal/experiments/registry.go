@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment against a lab.
+type Runner func(*Lab) (*Report, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"fig1":   Fig1,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15a": Fig15a,
+	"fig15b": Fig15b,
+	"timing": Timing,
+	// Beyond the paper's own figures: the design-choice ablations that
+	// DESIGN.md calls out.
+	"ablations": Ablations,
+}
+
+// IDs returns the registered experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(l *Lab, id string) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+	}
+	return r(l)
+}

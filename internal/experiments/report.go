@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one plain-text table of an experiment report.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Notes  []string
+}
+
+// AddTable appends a table and returns it for filling.
+func (r *Report) AddTable(title string, cols ...string) *Table {
+	t := &Table{Title: title, Cols: cols}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// AddNote appends a free-form note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtMS formats seconds as milliseconds.
+func fmtMS(v float64) string { return fmt.Sprintf("%.1fms", v*1000) }
+
+// fmtUSD formats a small USD amount in micro-dollars.
+func fmtUSD(v float64) string { return fmt.Sprintf("%.3fu$", v*1e6) }
+
+// fmtPct formats a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

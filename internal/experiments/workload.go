@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"deepbat/internal/lambda"
+	"deepbat/internal/stats"
+)
+
+// Fig1 reproduces Fig. 1: the impact of memory size, batch size, and timeout
+// on latency and cost, simulated over an Azure window with the two other
+// knobs fixed.
+func Fig1(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig1", Title: "Latency/cost impact of M, B, T (Azure window)"}
+	tr := l.Trace("azure")
+	// A mid-trace window with steady traffic.
+	win := tr.Hour(l.Cfg.Hours / 2)
+	if len(win) == 0 {
+		win = tr.Timestamps
+	}
+	sim := l.Simulator()
+
+	run := func(cfg lambda.Config) (p95, cost float64, err error) {
+		res, err := sim.Run(win, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.LatencyPercentile(95), res.CostPerRequest(), nil
+	}
+
+	base := lambda.Config{MemoryMB: 2048, BatchSize: 8, TimeoutS: 0.1}
+
+	tm := r.AddTable("(a) memory size, B=8 T=100ms", "memory_mb", "p95_latency", "cost_per_req")
+	for _, m := range []float64{256, 512, 1024, 2048, 3008, 4096, 6144} {
+		cfg := base
+		cfg.MemoryMB = m
+		p95, cost, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tm.AddRow(fmtF(m), fmtMS(p95), fmtUSD(cost))
+	}
+
+	tb := r.AddTable("(b) batch size, M=2048 T=100ms", "batch", "p95_latency", "cost_per_req")
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := base
+		cfg.BatchSize = b
+		p95, cost, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmtF(float64(b)), fmtMS(p95), fmtUSD(cost))
+	}
+
+	tt := r.AddTable("(c) timeout, M=2048 B=8", "timeout_ms", "p95_latency", "cost_per_req")
+	for _, t := range []float64{0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5} {
+		cfg := base
+		cfg.TimeoutS = t
+		p95, cost, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tt.AddRow(fmtF(t*1000), fmtMS(p95), fmtUSD(cost))
+	}
+	r.AddNote("expected shape: latency falls then flattens with memory while cost rises past the CPU cap; batching and timeouts cut cost but raise latency")
+	return r, nil
+}
+
+// Fig4 reproduces Fig. 4: arrival rate of the four traces, per paper-hour.
+func Fig4(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig4", Title: "Arrival rate of the four workloads (req/s per hour)"}
+	t := r.AddTable("", "hour", "azure", "twitter", "alibaba", "synthetic")
+	names := []string{"azure", "twitter", "alibaba", "synthetic"}
+	series := make([][]float64, len(names))
+	for i, n := range names {
+		tr := l.Trace(n)
+		rates := make([]float64, l.Cfg.Hours)
+		for h := range rates {
+			rates[h] = float64(len(tr.Hour(h))) / l.Cfg.HourSeconds
+		}
+		series[i] = rates
+	}
+	for h := 0; h < l.Cfg.Hours; h++ {
+		t.AddRow(fmtF(float64(h)),
+			fmtF(series[0][h]), fmtF(series[1][h]), fmtF(series[2][h]), fmtF(series[3][h]))
+	}
+	r.AddNote("expected shape: azure diurnal, twitter flat, alibaba flat with sharp peaks (hours 4/6/20), synthetic strongly varying")
+	return r, nil
+}
+
+// Fig5 reproduces Fig. 5: the hourly index of dispersion of the four traces.
+func Fig5(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig5", Title: "Index of dispersion (IDC) per hour"}
+	t := r.AddTable("", "hour", "azure", "twitter", "alibaba", "synthetic")
+	names := []string{"azure", "twitter", "alibaba", "synthetic"}
+	maxLag := 200
+	series := make([][]float64, len(names))
+	for i, n := range names {
+		series[i] = l.Trace(n).HourlyIDC(maxLag)
+	}
+	for h := 0; h < l.Cfg.Hours; h++ {
+		t.AddRow(fmtF(float64(h)),
+			fmtF(series[0][h]), fmtF(series[1][h]), fmtF(series[2][h]), fmtF(series[3][h]))
+	}
+	sum := r.AddTable("mean IDC", "trace", "mean_idc")
+	for i, n := range names {
+		sum.AddRow(n, fmtF(stats.Mean(series[i])))
+	}
+	r.AddNote("expected ordering: twitter ~4 (mild), azure higher and variable, alibaba and synthetic much higher")
+	return r, nil
+}

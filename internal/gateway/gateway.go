@@ -1,0 +1,328 @@
+// Package gateway is a real-time HTTP front-end for DeepBAT: the
+// On-Top-of-Platform deployment of Fig. 2 running on the wall clock instead
+// of simulated time. Inference requests POSTed to /infer are accumulated in
+// a batching buffer (dispatch on batch size B or timeout T), executed on a
+// pluggable serverless backend, and answered individually; a background
+// control loop feeds the recent interarrival window to a decision function
+// (the DeepBAT optimizer, or any other controller) and live-reconfigures
+// (M, B, T).
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"deepbat/internal/core"
+	"deepbat/internal/lambda"
+	"deepbat/internal/stats"
+)
+
+// Backend executes one batched invocation under a configuration and returns
+// its duration and USD cost. Implementations may block for the duration
+// (real platforms) or return immediately (simulations).
+type Backend interface {
+	Execute(cfg lambda.Config, batchSize int) (time.Duration, float64)
+}
+
+// SimulatedBackend models AWS Lambda: deterministic service times from a
+// profile, the pay-as-you-go pricing, and an optional wall-clock scale (1.0
+// sleeps for the real duration; 0 returns instantly).
+type SimulatedBackend struct {
+	Profile   lambda.Profile
+	Pricing   lambda.Pricing
+	TimeScale float64
+}
+
+// Execute implements Backend.
+func (s SimulatedBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64) {
+	svc := s.Profile.ServiceTime(cfg.MemoryMB, batchSize)
+	if s.TimeScale > 0 {
+		time.Sleep(time.Duration(svc * s.TimeScale * float64(time.Second)))
+	}
+	return time.Duration(svc * float64(time.Second)), s.Pricing.InvocationCost(cfg.MemoryMB, svc)
+}
+
+// DecideFunc maps the recent interarrival window (seconds) to a new
+// configuration.
+type DecideFunc func(window []float64) (lambda.Config, error)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Initial is the configuration served before the first decision.
+	Initial lambda.Config
+	// SLO is the latency objective used for violation accounting.
+	SLO float64
+	// DecideEvery is the control period; zero disables reconfiguration.
+	DecideEvery time.Duration
+	// WindowLen is the number of interarrivals handed to Decide.
+	WindowLen int
+}
+
+// Stats is the JSON document served at /stats.
+type Stats struct {
+	Served           int           `json:"served"`
+	Invocations      int           `json:"invocations"`
+	Reconfigurations int           `json:"reconfigurations"`
+	VCRPercent       float64       `json:"vcr_percent"`
+	P95LatencyMS     float64       `json:"p95_latency_ms"`
+	TotalCostUSD     float64       `json:"total_cost_usd"`
+	Config           lambda.Config `json:"config"`
+}
+
+// inferResponse is the JSON answer to one inference request.
+type inferResponse struct {
+	ID        int     `json:"id"`
+	BatchSize int     `json:"batch_size"`
+	LatencyMS float64 `json:"latency_ms"`
+	CostUSD   float64 `json:"cost_usd"`
+	Config    string  `json:"config"`
+}
+
+type waiter struct {
+	id       int
+	arriveAt time.Time
+	done     chan inferResponse
+}
+
+// Gateway is the running front-end. Create with New, expose via Handler,
+// stop with Close.
+type Gateway struct {
+	backend Backend
+	decide  DecideFunc
+	conf    Config
+
+	mu        sync.Mutex
+	cfg       lambda.Config
+	pending   []waiter
+	batchCfg  lambda.Config // parameters captured when the open batch started
+	timer     *time.Timer
+	parser    *core.WorkloadParser
+	lastID    int
+	served    int
+	invoked   int
+	reconfigs int
+	latencies []float64
+	totalCost float64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds and starts a gateway. decide may be nil (static configuration).
+func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
+	if !conf.Initial.Valid() {
+		return nil, errors.New("gateway: invalid initial configuration")
+	}
+	if conf.WindowLen <= 0 {
+		conf.WindowLen = 64
+	}
+	g := &Gateway{
+		backend: backend,
+		decide:  decide,
+		conf:    conf,
+		cfg:     conf.Initial,
+		parser:  core.NewWorkloadParser(conf.WindowLen),
+		stop:    make(chan struct{}),
+	}
+	if decide != nil && conf.DecideEvery > 0 {
+		g.wg.Add(1)
+		go g.controlLoop()
+	}
+	return g, nil
+}
+
+// Close stops the control loop and flushes any buffered requests.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	select {
+	case <-g.stop:
+		g.mu.Unlock()
+		return
+	default:
+	}
+	close(g.stop)
+	batch, cfg := g.takeBatchLocked()
+	g.mu.Unlock()
+	if len(batch) > 0 {
+		g.execute(batch, cfg)
+	}
+	g.wg.Wait()
+}
+
+// controlLoop periodically re-optimizes from the parser's window.
+func (g *Gateway) controlLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.conf.DecideEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		}
+		g.mu.Lock()
+		full := g.parser.Full()
+		window := g.parser.Window()
+		g.mu.Unlock()
+		if !full {
+			continue
+		}
+		cfg, err := g.decide(window)
+		if err != nil || !cfg.Valid() {
+			continue
+		}
+		g.mu.Lock()
+		if cfg != g.cfg {
+			g.cfg = cfg
+			g.reconfigs++
+		}
+		g.mu.Unlock()
+	}
+}
+
+// Config returns the active configuration.
+func (g *Gateway) Config() lambda.Config {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg
+}
+
+// Handler returns the HTTP mux: POST /infer, GET /stats, GET /config.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", g.handleInfer)
+	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/config", g.handleConfig)
+	return mux
+}
+
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	done := g.enqueue(time.Now())
+	select {
+	case resp := <-done:
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// The response was already committed; nothing sensible to do.
+			return
+		}
+	case <-r.Context().Done():
+		// Client went away; the batch result is discarded for this waiter.
+		http.Error(w, "client cancelled", http.StatusRequestTimeout)
+	}
+}
+
+// enqueue registers an arrival and returns its completion channel.
+func (g *Gateway) enqueue(now time.Time) chan inferResponse {
+	g.mu.Lock()
+	g.lastID++
+	g.parser.Observe(float64(now.UnixNano()) / 1e9)
+	wtr := waiter{id: g.lastID, arriveAt: now, done: make(chan inferResponse, 1)}
+	if len(g.pending) == 0 {
+		// Opening a new batch: snapshot the active parameters and arm the
+		// timeout.
+		g.batchCfg = g.cfg
+		g.pending = append(g.pending, wtr)
+		if g.batchCfg.BatchSize > 1 && g.batchCfg.TimeoutS > 0 {
+			g.timer = time.AfterFunc(time.Duration(g.batchCfg.TimeoutS*float64(time.Second)), g.flushTimeout)
+		} else {
+			// B = 1 or T = 0: serve immediately, no accumulation.
+			batch, cfg := g.takeBatchLocked()
+			g.mu.Unlock()
+			go g.execute(batch, cfg)
+			return wtr.done
+		}
+		g.mu.Unlock()
+		return wtr.done
+	}
+	g.pending = append(g.pending, wtr)
+	if len(g.pending) >= g.batchCfg.BatchSize {
+		batch, cfg := g.takeBatchLocked()
+		g.mu.Unlock()
+		go g.execute(batch, cfg)
+		return wtr.done
+	}
+	g.mu.Unlock()
+	return wtr.done
+}
+
+// flushTimeout dispatches the open batch when its timer fires.
+func (g *Gateway) flushTimeout() {
+	g.mu.Lock()
+	batch, cfg := g.takeBatchLocked()
+	g.mu.Unlock()
+	if len(batch) > 0 {
+		g.execute(batch, cfg)
+	}
+}
+
+// takeBatchLocked removes and returns the pending batch together with the
+// parameters it was opened under. Callers hold mu.
+func (g *Gateway) takeBatchLocked() ([]waiter, lambda.Config) {
+	batch := g.pending
+	g.pending = nil
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	return batch, g.batchCfg
+}
+
+// execute runs a batch on the backend and resolves every waiter.
+func (g *Gateway) execute(batch []waiter, cfg lambda.Config) {
+	if cfg.BatchSize == 0 {
+		cfg = g.conf.Initial
+	}
+	dur, cost := g.backend.Execute(cfg, len(batch))
+	finished := time.Now()
+	per := cost / float64(len(batch))
+	g.mu.Lock()
+	g.invoked++
+	g.totalCost += cost
+	for _, wtr := range batch {
+		lat := finished.Sub(wtr.arriveAt)
+		g.served++
+		g.latencies = append(g.latencies, lat.Seconds())
+		wtr.done <- inferResponse{
+			ID:        wtr.id,
+			BatchSize: len(batch),
+			LatencyMS: float64(lat) / float64(time.Millisecond),
+			CostUSD:   per,
+			Config:    cfg.String(),
+		}
+	}
+	_ = dur
+	g.mu.Unlock()
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	p95, _ := stats.Percentile(g.latencies, 95)
+	s := Stats{
+		Served:           g.served,
+		Invocations:      g.invoked,
+		Reconfigurations: g.reconfigs,
+		VCRPercent:       stats.VCR(g.latencies, g.conf.SLO),
+		P95LatencyMS:     p95 * 1000,
+		TotalCostUSD:     g.totalCost,
+		Config:           g.cfg,
+	}
+	g.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (g *Gateway) handleConfig(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(g.Config()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,366 @@
+// Package linalg provides the small dense-matrix kernels needed by the
+// Markovian arrival process (MAP) machinery: products, linear solves,
+// stationary-vector computation, and the matrix exponential via Padé
+// approximation with scaling and squaring. Matrices here are tiny (the
+// reproduction uses 2-state MMPPs), so clarity beats blocking.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// NewMat returns a zero r×c matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Mat {
+	r := len(rows)
+	if r == 0 {
+		return NewMat(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMat(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("linalg: ragged rows: %d vs %d", len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.R, m.C)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+func checkSame(a, b *Mat) {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C))
+	}
+}
+
+// Add returns a + b.
+func Add(a, b *Mat) *Mat {
+	checkSame(a, b)
+	out := NewMat(a.R, a.C)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Mat) *Mat {
+	checkSame(a, b)
+	out := NewMat(a.R, a.C)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Mat, s float64) *Mat {
+	out := NewMat(a.R, a.C)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// Mul returns the matrix product a b.
+func Mul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("linalg: Mul dims %dx%d by %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			av := a.Data[i*a.C+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				out.Data[i*b.C+j] += av * b.Data[k*b.C+j]
+			}
+		}
+	}
+	return out
+}
+
+// VecMat returns the row vector v a (v length = a.R).
+func VecMat(v []float64, a *Mat) []float64 {
+	if len(v) != a.R {
+		panic("linalg: VecMat length mismatch")
+	}
+	out := make([]float64, a.C)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		for j := 0; j < a.C; j++ {
+			out[j] += vi * a.Data[i*a.C+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the column vector a v (v length = a.C).
+func MatVec(a *Mat, v []float64) []float64 {
+	if len(v) != a.C {
+		panic("linalg: MatVec length mismatch")
+	}
+	out := make([]float64, a.R)
+	for i := 0; i < a.R; i++ {
+		s := 0.0
+		for j := 0; j < a.C; j++ {
+			s += a.Data[i*a.C+j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b *Mat) *Mat {
+	out := NewMat(a.R*b.R, a.C*b.C)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for k := 0; k < b.R; k++ {
+				for l := 0; l < b.C; l++ {
+					out.Set(i*b.R+k, j*b.C+l, av*b.At(k, l))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronSum returns the Kronecker sum a ⊕ b = a ⊗ I + I ⊗ b for square a, b.
+func KronSum(a, b *Mat) *Mat {
+	if a.R != a.C || b.R != b.C {
+		panic("linalg: KronSum requires square matrices")
+	}
+	return Add(Kron(a, Identity(b.R)), Kron(Identity(a.R), b))
+}
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves A x = b by Gaussian elimination with partial pivoting.
+// A and b are not modified.
+func Solve(a *Mat, b []float64) ([]float64, error) {
+	n := a.R
+	if a.C != n || len(b) != n {
+		panic("linalg: Solve requires square system")
+	}
+	// Augmented working copy.
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a.Data[i*n:(i+1)*n])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Mat) (*Mat, error) {
+	n := a.R
+	if a.C != n {
+		panic("linalg: Inverse requires square matrix")
+	}
+	out := NewMat(n, n)
+	e := make([]float64, n)
+	for col := 0; col < n; col++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[col] = 1
+		x, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Data[i*n+col] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// MaxAbs returns the largest absolute entry of a.
+func MaxAbs(a *Mat) float64 {
+	m := 0.0
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// Expm returns e^A computed with a 6th-order Padé approximant combined with
+// scaling and squaring. A must be square.
+func Expm(a *Mat) *Mat {
+	n := a.R
+	if a.C != n {
+		panic("linalg: Expm requires square matrix")
+	}
+	// Scale so that the norm is below 0.5.
+	norm := MaxAbs(a)
+	s := 0
+	for norm > 0.5 {
+		norm /= 2
+		s++
+	}
+	x := Scale(a, 1/math.Pow(2, float64(s)))
+
+	// Padé(6,6) coefficients.
+	const q = 6
+	c := 1.0
+	num := Identity(n)
+	den := Identity(n)
+	pow := Identity(n)
+	for k := 1; k <= q; k++ {
+		c = c * float64(q-k+1) / float64(k*(2*q-k+1))
+		pow = Mul(pow, x)
+		num = Add(num, Scale(pow, c))
+		if k%2 == 0 {
+			den = Add(den, Scale(pow, c))
+		} else {
+			den = Sub(den, Scale(pow, c))
+		}
+	}
+	inv, err := Inverse(den)
+	if err != nil {
+		// Fall back to a truncated Taylor series; the denominator of a Padé
+		// approximant is singular only for pathological inputs.
+		return expmTaylor(a)
+	}
+	r := Mul(inv, num)
+	for i := 0; i < s; i++ {
+		r = Mul(r, r)
+	}
+	return r
+}
+
+// expmTaylor is a plain Taylor-series fallback for Expm.
+func expmTaylor(a *Mat) *Mat {
+	n := a.R
+	r := Identity(n)
+	term := Identity(n)
+	for k := 1; k <= 64; k++ {
+		term = Scale(Mul(term, a), 1/float64(k))
+		r = Add(r, term)
+		if MaxAbs(term) < 1e-16 {
+			break
+		}
+	}
+	return r
+}
+
+// StationaryVector returns the probability vector pi with pi Q = 0 and
+// sum(pi) = 1 for an irreducible CTMC generator Q.
+func StationaryVector(q *Mat) ([]float64, error) {
+	n := q.R
+	if q.C != n {
+		panic("linalg: StationaryVector requires square generator")
+	}
+	// Solve Q^T pi^T = 0 with the last equation replaced by sum = 1.
+	a := NewMat(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, q.At(j, i)) // transpose
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b[n-1] = 1
+	return Solve(a, b)
+}

@@ -1,0 +1,292 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At = %v", m.At(1, 0))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if Add(a, b).At(1, 1) != 12 {
+		t.Fatal("Add")
+	}
+	if Sub(b, a).At(0, 0) != 4 {
+		t.Fatal("Sub")
+	}
+	if Scale(a, 2).At(1, 0) != 6 {
+		t.Fatal("Scale")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %v", c.Data)
+			}
+		}
+	}
+}
+
+func TestVecMatMatVecDot(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := VecMat([]float64{1, 1}, a)
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatalf("VecMat = %v", v)
+	}
+	w := MatVec(a, []float64{1, 1})
+	if w[0] != 3 || w[1] != 7 {
+		t.Fatalf("MatVec = %v", w)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot")
+	}
+	if o := Ones(3); o[0] != 1 || len(o) != 3 {
+		t.Fatal("Ones")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolvePivoting(t *testing.T) {
+	// Requires row swap: zero pivot in the first position.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("Solve pivoting = %v", x)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Mul(a, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id.At(i, j)-want) > 1e-12 {
+				t.Fatalf("A A^-1 = %v", id.Data)
+			}
+		}
+	}
+	if _, err := Inverse(FromRows([][]float64{{1, 1}, {1, 1}})); err == nil {
+		t.Fatal("Inverse of singular should fail")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -2}})
+	e := Expm(a)
+	if math.Abs(e.At(0, 0)-math.E) > 1e-10 || math.Abs(e.At(1, 1)-math.Exp(-2)) > 1e-10 {
+		t.Fatalf("Expm diag = %v", e.Data)
+	}
+	if math.Abs(e.At(0, 1)) > 1e-12 || math.Abs(e.At(1, 0)) > 1e-12 {
+		t.Fatalf("Expm diag off-terms = %v", e.Data)
+	}
+}
+
+func TestExpmZero(t *testing.T) {
+	e := Expm(NewMat(3, 3))
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Expm(0) = %v", e.Data)
+			}
+		}
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] => e^A = [[1,1],[0,1]] exactly.
+	a := FromRows([][]float64{{0, 1}, {0, 0}})
+	e := Expm(a)
+	if math.Abs(e.At(0, 0)-1) > 1e-12 || math.Abs(e.At(0, 1)-1) > 1e-12 ||
+		math.Abs(e.At(1, 0)) > 1e-12 || math.Abs(e.At(1, 1)-1) > 1e-12 {
+		t.Fatalf("Expm nilpotent = %v", e.Data)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Check e^(A) via the semigroup property against e^(A/2) squared.
+	a := FromRows([][]float64{{-30, 30}, {5, -5}})
+	e := Expm(a)
+	half := Expm(Scale(a, 0.5))
+	sq := Mul(half, half)
+	for i := range e.Data {
+		if math.Abs(e.Data[i]-sq.Data[i]) > 1e-8 {
+			t.Fatalf("semigroup violated: %v vs %v", e.Data, sq.Data)
+		}
+	}
+}
+
+func TestExpmGeneratorRowSums(t *testing.T) {
+	// e^(Qt) of a CTMC generator is stochastic: nonneg rows summing to 1.
+	q := FromRows([][]float64{{-2, 2, 0}, {1, -3, 2}, {0, 4, -4}})
+	e := Expm(Scale(q, 0.37))
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			v := e.At(i, j)
+			if v < -1e-12 {
+				t.Fatalf("negative transition probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestExpmSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewMat(2, 2)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		e1 := Expm(a)
+		h := Expm(Scale(a, 0.5))
+		e2 := Mul(h, h)
+		for i := range e1.Data {
+			if math.Abs(e1.Data[i]-e2.Data[i]) > 1e-7*(1+math.Abs(e1.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationaryVector(t *testing.T) {
+	// Birth-death chain with known stationary distribution.
+	q := FromRows([][]float64{{-1, 1}, {2, -2}})
+	pi, err := StationaryVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pi = (2/3, 1/3): balance 1*pi0 = 2*pi1.
+	if math.Abs(pi[0]-2.0/3) > 1e-12 || math.Abs(pi[1]-1.0/3) > 1e-12 {
+		t.Fatalf("stationary = %v", pi)
+	}
+}
+
+func TestStationaryVectorThreeState(t *testing.T) {
+	q := FromRows([][]float64{{-3, 2, 1}, {1, -2, 1}, {2, 2, -4}})
+	pi, err := StationaryVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := pi[0] + pi[1] + pi[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("stationary sums to %v", sum)
+	}
+	// Verify pi Q = 0.
+	r := VecMat(pi, q)
+	for _, v := range r {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("pi Q = %v", r)
+		}
+	}
+}
+
+func TestKron(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	k := Kron(a, b)
+	if k.R != 4 || k.C != 4 {
+		t.Fatalf("Kron shape = %dx%d", k.R, k.C)
+	}
+	// Block (0,0) = 1*b, block (0,1) = 2*b.
+	if k.At(0, 1) != 1 || k.At(0, 3) != 2 || k.At(3, 0) != 3 || k.At(2, 3) != 4 {
+		t.Fatalf("Kron = %v", k.Data)
+	}
+}
+
+func TestKronSumGenerators(t *testing.T) {
+	// The Kronecker sum of two CTMC generators is a generator (zero rows).
+	a := FromRows([][]float64{{-1, 1}, {2, -2}})
+	b := FromRows([][]float64{{-3, 3}, {1, -1}})
+	ks := KronSum(a, b)
+	for i := 0; i < ks.R; i++ {
+		sum := 0.0
+		for j := 0; j < ks.C; j++ {
+			sum += ks.At(i, j)
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestKronSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square input")
+		}
+	}()
+	KronSum(NewMat(2, 3), NewMat(2, 2))
+}
+
+func TestMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	Mul(NewMat(2, 3), NewMat(2, 3))
+}

@@ -1,0 +1,130 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"deepbat/internal/tensor"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default()
+	if cfg.Alpha != 0.05 || cfg.Delta != 1 {
+		t.Fatalf("Default = %+v, paper uses alpha=0.05 delta=1", cfg)
+	}
+	if cfg.SLOPenalty <= 1 {
+		t.Fatalf("SLOPenalty = %v, must amplify violating samples", cfg.SLOPenalty)
+	}
+}
+
+func TestCombinedValue(t *testing.T) {
+	pred := tensor.FromData([]float64{1.2}, 1)
+	target := tensor.FromData([]float64{1.0}, 1)
+	cfg := Config{Alpha: 0.05, Delta: 1}
+	got := Combined(pred, target, cfg, nil).Item()
+	// MAPE fraction = 0.2, Huber = 0.5*0.04 = 0.02.
+	want := 0.05*0.2 + 0.95*0.02
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Combined = %v, want %v", got, want)
+	}
+}
+
+func TestCombinedGradientFlows(t *testing.T) {
+	pred := tensor.FromData([]float64{1.5, 0.4}, 2).RequireGrad()
+	target := tensor.FromData([]float64{1.0, 0.5}, 2)
+	l := Combined(pred, target, Default(), nil)
+	tensor.Backward(l)
+	if pred.Grad[0] == 0 || pred.Grad[1] == 0 {
+		t.Fatalf("combined loss produced zero gradients: %v", pred.Grad)
+	}
+	// Over-prediction should push down, under-prediction up.
+	if pred.Grad[0] <= 0 {
+		t.Fatalf("grad sign for over-prediction: %v", pred.Grad[0])
+	}
+	if pred.Grad[1] >= 0 {
+		t.Fatalf("grad sign for under-prediction: %v", pred.Grad[1])
+	}
+}
+
+func TestSLOWeightsPenalizesViolatingEntries(t *testing.T) {
+	cfg := Default()
+	slo := 0.1
+	// Layout [cost, p50, p95]; only p95 violates.
+	w := SLOWeights([]float64{0.01, 0.05, 0.2}, slo, cfg)
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("non-violating entries reweighted: %v", w)
+	}
+	if w[2] != cfg.SLOPenalty {
+		t.Fatalf("violating entry weight = %v, want %v", w[2], cfg.SLOPenalty)
+	}
+	// Non-violating sample gets uniform weights.
+	w = SLOWeights([]float64{0.01, 0.05, 0.08}, slo, cfg)
+	for i, v := range w {
+		if v != 1 {
+			t.Fatalf("weight[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestSLOWeightsIgnoresCostElement(t *testing.T) {
+	// A huge cost (element 0) alone should not trigger the latency penalty.
+	w := SLOWeights([]float64{99, 0.01}, 0.1, Default())
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("weights = %v, cost must not trigger penalty", w)
+	}
+}
+
+func TestViolates(t *testing.T) {
+	if !Violates([]float64{0.01, 0.05, 0.2}, 0.1) {
+		t.Fatal("violating sample not detected")
+	}
+	if Violates([]float64{0.01, 0.05, 0.08}, 0.1) {
+		t.Fatal("feasible sample flagged")
+	}
+	if Violates([]float64{99}, 0.1) {
+		t.Fatal("cost-only vector cannot violate")
+	}
+}
+
+func TestSampleWeight(t *testing.T) {
+	cfg := Default()
+	if got := SampleWeight([]float64{0.01, 0.2}, 0.1, cfg); got != cfg.SLOPenalty {
+		t.Fatalf("violating sample weight = %v, want %v", got, cfg.SLOPenalty)
+	}
+	if got := SampleWeight([]float64{0.01, 0.05}, 0.1, cfg); got != 1 {
+		t.Fatalf("feasible sample weight = %v, want 1", got)
+	}
+	cfg.SLOPenalty = 0
+	if got := SampleWeight([]float64{0.01, 0.2}, 0.1, cfg); got != 1 {
+		t.Fatalf("disabled penalty weight = %v, want 1", got)
+	}
+}
+
+func TestSampleLevelPenaltyChangesLoss(t *testing.T) {
+	// The element weights alone normalize away when uniform; the sample
+	// weight is what makes violating samples matter more. Check the
+	// composition behaves: a violating tail entry is up-weighted within the
+	// sample, so its error dominates.
+	cfg := Default()
+	target := tensor.FromData([]float64{0.01, 0.05, 0.2}, 3)
+	pred := tensor.FromData([]float64{0.011, 0.055, 0.3}, 3)
+	w := SLOWeights(target.Data, 0.1, cfg)
+	weighted := Combined(pred, target, cfg, w).Item()
+	plain := Combined(pred, target, cfg, nil).Item()
+	if weighted <= plain {
+		t.Fatalf("violating-entry weighting should emphasize the tail: %v vs %v", weighted, plain)
+	}
+}
+
+func TestExplicitTailWeighting(t *testing.T) {
+	cfg := Default()
+	pred := tensor.FromData([]float64{0.011, 0.055, 0.3}, 3)
+	target := tensor.FromData([]float64{0.01, 0.05, 0.2}, 3)
+	plain := Combined(pred, target, cfg, nil).Item()
+	// Emphasizing the violating tail element raises the weighted mean when
+	// the tail error dominates.
+	mixed := Combined(pred, target, cfg, []float64{1, 1, 8}).Item()
+	if mixed <= plain {
+		t.Fatalf("tail-weighted loss %v should exceed plain %v", mixed, plain)
+	}
+}

@@ -1,0 +1,211 @@
+// Package multiclass extends DeepBAT toward MBS (Ali et al., VLDB'22), the
+// multi-class successor of BATCH that the paper cites: several inference
+// model classes are served side by side, each with its own service-time
+// profile, SLO, batching buffer, and controller, over a single mixed arrival
+// stream. Requests carry a class label; the coordinator demultiplexes the
+// stream, runs one closed-loop engine per class, and aggregates per-class
+// and overall SLO/cost accounting.
+package multiclass
+
+import (
+	"errors"
+	"fmt"
+
+	"deepbat/internal/core"
+	"deepbat/internal/lambda"
+	"deepbat/internal/qsim"
+	"deepbat/internal/stats"
+)
+
+// Class describes one model class to serve.
+type Class struct {
+	Name    string
+	Profile lambda.Profile
+	Pricing lambda.Pricing
+	SLO     float64
+	// Decider controls this class's configuration over time.
+	Decider core.Decider
+	// Replay options for this class (period, lookback, initial config).
+	Options core.ReplayOptions
+}
+
+// Request is one labeled arrival.
+type Request struct {
+	At    float64
+	Class string
+}
+
+// ClassResult is the outcome for one class.
+type ClassResult struct {
+	Class  string
+	Result *core.ReplayResult
+}
+
+// Summary aggregates a multi-class run.
+type Summary struct {
+	PerClass []ClassResult
+	// Requests across all classes.
+	Requests int
+	// TotalCostUSD across all classes.
+	TotalCostUSD float64
+	// WorstVCR is the maximum per-class VCR (the binding SLO view).
+	WorstVCR float64
+	// MeanVCR is the request-weighted VCR across classes.
+	MeanVCR float64
+}
+
+// Coordinator serves several classes over a mixed stream.
+type Coordinator struct {
+	classes map[string]Class
+	order   []string
+}
+
+// NewCoordinator validates and registers the classes.
+func NewCoordinator(classes []Class) (*Coordinator, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("multiclass: no classes")
+	}
+	c := &Coordinator{classes: make(map[string]Class, len(classes))}
+	for _, cl := range classes {
+		if cl.Name == "" {
+			return nil, errors.New("multiclass: class with empty name")
+		}
+		if _, dup := c.classes[cl.Name]; dup {
+			return nil, fmt.Errorf("multiclass: duplicate class %q", cl.Name)
+		}
+		if cl.Decider == nil {
+			return nil, fmt.Errorf("multiclass: class %q has no decider", cl.Name)
+		}
+		if !cl.Options.InitialConfig.Valid() {
+			return nil, fmt.Errorf("multiclass: class %q has invalid initial config", cl.Name)
+		}
+		if cl.SLO <= 0 {
+			return nil, fmt.Errorf("multiclass: class %q has non-positive SLO", cl.Name)
+		}
+		c.classes[cl.Name] = cl
+		c.order = append(c.order, cl.Name)
+	}
+	return c, nil
+}
+
+// Split demultiplexes a labeled stream into per-class timestamp traces.
+// Unknown class labels are reported as an error.
+func (c *Coordinator) Split(reqs []Request) (map[string][]float64, error) {
+	out := make(map[string][]float64, len(c.classes))
+	for _, r := range reqs {
+		if _, ok := c.classes[r.Class]; !ok {
+			return nil, fmt.Errorf("multiclass: unknown class %q", r.Class)
+		}
+		out[r.Class] = append(out[r.Class], r.At)
+	}
+	return out, nil
+}
+
+// Replay runs every class's closed loop over its share of the stream.
+// Classes with no traffic are skipped.
+func (c *Coordinator) Replay(reqs []Request) (*Summary, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("multiclass: empty stream")
+	}
+	split, err := c.Split(reqs)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{}
+	var weighted float64
+	for _, name := range c.order {
+		arrivals := split[name]
+		if len(arrivals) == 0 {
+			continue
+		}
+		cl := c.classes[name]
+		eng := core.NewEngine(qsim.New(cl.Profile, cl.Pricing))
+		opts := cl.Options
+		opts.SLO = cl.SLO
+		res, err := eng.Replay(arrivals, cl.Decider, opts)
+		if err != nil {
+			return nil, fmt.Errorf("multiclass: class %q: %w", name, err)
+		}
+		sum.PerClass = append(sum.PerClass, ClassResult{Class: name, Result: res})
+		n := len(res.Latencies())
+		sum.Requests += n
+		sum.TotalCostUSD += res.TotalCost()
+		vcr := res.VCR()
+		if vcr > sum.WorstVCR {
+			sum.WorstVCR = vcr
+		}
+		weighted += vcr * float64(n)
+	}
+	if sum.Requests == 0 {
+		return nil, errors.New("multiclass: no class received traffic")
+	}
+	sum.MeanVCR = weighted / float64(sum.Requests)
+	return sum, nil
+}
+
+// CostPerRequest returns the overall average cost per request.
+func (s *Summary) CostPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.TotalCostUSD / float64(s.Requests)
+}
+
+// ClassVCRs returns per-class (name, VCR) pairs in registration order.
+func (s *Summary) ClassVCRs() map[string]float64 {
+	out := make(map[string]float64, len(s.PerClass))
+	for _, cr := range s.PerClass {
+		out[cr.Class] = cr.Result.VCR()
+	}
+	return out
+}
+
+// MixStreams interleaves per-class timestamp traces into one labeled stream
+// sorted by arrival time (a helper for building multi-class workloads from
+// the single-class generators).
+func MixStreams(perClass map[string][]float64) []Request {
+	var total int
+	for _, ts := range perClass {
+		total += len(ts)
+	}
+	out := make([]Request, 0, total)
+	// k-way merge by repeated minimum over the class heads; class counts are
+	// small so the simple scan is fine.
+	heads := make(map[string]int, len(perClass))
+	for len(out) < total {
+		bestClass := ""
+		bestTS := 0.0
+		for name, ts := range perClass {
+			i := heads[name]
+			if i >= len(ts) {
+				continue
+			}
+			if bestClass == "" || ts[i] < bestTS {
+				bestClass, bestTS = name, ts[i]
+			}
+		}
+		out = append(out, Request{At: bestTS, Class: bestClass})
+		heads[bestClass]++
+	}
+	return out
+}
+
+// VCRTable renders a compact per-class summary for logs.
+func (s *Summary) VCRTable() string {
+	out := ""
+	for _, cr := range s.PerClass {
+		res := cr.Result
+		out += fmt.Sprintf("%-12s requests=%-7d VCR=%6.2f%%  P95=%6.1fms  cost=%.3fu$/req\n",
+			cr.Class, len(res.Latencies()), res.VCR(), p95(res)*1000,
+			res.CostPerRequest()*1e6)
+	}
+	return out
+}
+
+func p95(res *core.ReplayResult) float64 {
+	v, err := stats.Percentile(res.Latencies(), 95)
+	if err != nil {
+		return 0
+	}
+	return v
+}

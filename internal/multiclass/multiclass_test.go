@@ -1,0 +1,191 @@
+package multiclass
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"deepbat/internal/core"
+	"deepbat/internal/lambda"
+	"deepbat/internal/trace"
+)
+
+func classOpts() core.ReplayOptions {
+	return core.ReplayOptions{
+		PeriodS:       10,
+		DecideEvery:   1,
+		LookbackS:     30,
+		InitialConfig: lambda.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
+		SLO:           0.1,
+	}
+}
+
+func twoClasses() []Class {
+	return []Class{
+		{
+			Name:    "speech",
+			Profile: lambda.Profiles["nlp-base"],
+			Pricing: lambda.DefaultPricing(),
+			SLO:     0.1,
+			Decider: core.StaticDecider{Cfg: lambda.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05}},
+			Options: classOpts(),
+		},
+		{
+			Name:    "vision",
+			Profile: lambda.Profiles["cnn-small"],
+			Pricing: lambda.DefaultPricing(),
+			SLO:     0.05,
+			Decider: core.StaticDecider{Cfg: lambda.Config{MemoryMB: 1024, BatchSize: 2, TimeoutS: 0.02}},
+			Options: classOpts(),
+		},
+	}
+}
+
+func labeledStream(t *testing.T) []Request {
+	t.Helper()
+	a := trace.MustGenerate(trace.Spec{Name: "twitter", Hours: 1, HourSeconds: 30, Seed: 41})
+	b := trace.MustGenerate(trace.Spec{Name: "azure", Hours: 1, HourSeconds: 30, Seed: 42})
+	return MixStreams(map[string][]float64{
+		"speech": a.Timestamps,
+		"vision": b.Timestamps,
+	})
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil); err == nil {
+		t.Fatal("expected error for no classes")
+	}
+	cls := twoClasses()
+	cls[1].Name = cls[0].Name
+	if _, err := NewCoordinator(cls); err == nil {
+		t.Fatal("expected error for duplicate class")
+	}
+	cls = twoClasses()
+	cls[0].Decider = nil
+	if _, err := NewCoordinator(cls); err == nil {
+		t.Fatal("expected error for missing decider")
+	}
+	cls = twoClasses()
+	cls[0].Options.InitialConfig = lambda.Config{}
+	if _, err := NewCoordinator(cls); err == nil {
+		t.Fatal("expected error for invalid initial config")
+	}
+	cls = twoClasses()
+	cls[0].SLO = 0
+	if _, err := NewCoordinator(cls); err == nil {
+		t.Fatal("expected error for zero SLO")
+	}
+	cls = twoClasses()
+	cls[0].Name = ""
+	if _, err := NewCoordinator(cls); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+}
+
+func TestMixStreamsSorted(t *testing.T) {
+	mixed := MixStreams(map[string][]float64{
+		"a": {1, 3, 5},
+		"b": {2, 4},
+	})
+	if len(mixed) != 5 {
+		t.Fatalf("mixed length = %d", len(mixed))
+	}
+	if !sort.SliceIsSorted(mixed, func(i, j int) bool { return mixed[i].At < mixed[j].At }) {
+		t.Fatalf("stream not sorted: %+v", mixed)
+	}
+	wantClasses := []string{"a", "b", "a", "b", "a"}
+	for i, r := range mixed {
+		if r.Class != wantClasses[i] {
+			t.Fatalf("mixed[%d] = %+v, want class %s", i, r, wantClasses[i])
+		}
+	}
+}
+
+func TestSplitUnknownClass(t *testing.T) {
+	c, err := NewCoordinator(twoClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Split([]Request{{At: 1, Class: "nope"}}); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+}
+
+func TestReplayTwoClasses(t *testing.T) {
+	c, err := NewCoordinator(twoClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := labeledStream(t)
+	sum, err := c.Replay(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PerClass) != 2 {
+		t.Fatalf("classes served = %d", len(sum.PerClass))
+	}
+	if sum.Requests != len(stream) {
+		t.Fatalf("served %d of %d", sum.Requests, len(stream))
+	}
+	if sum.TotalCostUSD <= 0 || sum.CostPerRequest() <= 0 {
+		t.Fatal("cost accounting broken")
+	}
+	vcrs := sum.ClassVCRs()
+	if len(vcrs) != 2 {
+		t.Fatalf("ClassVCRs = %v", vcrs)
+	}
+	if sum.WorstVCR < sum.MeanVCR-1e-9 {
+		t.Fatalf("WorstVCR %v below MeanVCR %v", sum.WorstVCR, sum.MeanVCR)
+	}
+	table := sum.VCRTable()
+	if !strings.Contains(table, "speech") || !strings.Contains(table, "vision") {
+		t.Fatalf("VCRTable missing classes:\n%s", table)
+	}
+}
+
+func TestReplayEmptyStream(t *testing.T) {
+	c, err := NewCoordinator(twoClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Replay(nil); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}
+
+func TestReplaySkipsIdleClasses(t *testing.T) {
+	c, err := NewCoordinator(twoClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	only := []Request{{At: 0.1, Class: "speech"}, {At: 0.2, Class: "speech"}}
+	sum, err := c.Replay(only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PerClass) != 1 || sum.PerClass[0].Class != "speech" {
+		t.Fatalf("PerClass = %+v", sum.PerClass)
+	}
+}
+
+func TestPerClassSLOsIndependent(t *testing.T) {
+	// The vision class has a much tighter SLO; give it a deliberately slow
+	// configuration and check its VCR rises while speech stays clean.
+	cls := twoClasses()
+	cls[1].Decider = core.StaticDecider{Cfg: lambda.Config{MemoryMB: 512, BatchSize: 16, TimeoutS: 0.2}}
+	c, err := NewCoordinator(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Replay(labeledStream(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcrs := sum.ClassVCRs()
+	if vcrs["vision"] <= vcrs["speech"] {
+		t.Fatalf("vision %v should violate more than speech %v", vcrs["vision"], vcrs["speech"])
+	}
+	if sum.WorstVCR != vcrs["vision"] {
+		t.Fatalf("WorstVCR = %v, want vision's %v", sum.WorstVCR, vcrs["vision"])
+	}
+}

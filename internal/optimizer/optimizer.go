@@ -1,0 +1,109 @@
+// Package optimizer implements the Optimizer component of DeepBAT
+// (Section III-E): given the deep surrogate model's cost and latency
+// predictions for every candidate configuration, it solves the paper's
+// optimization problem (Eq. 10) by exhaustive search — minimize the cost per
+// request subject to the predicted i-th percentile latency meeting the SLO.
+//
+// A penalty factor gamma (Section III-D, Model Fine-Tuning) optionally
+// tightens the SLO to SLO*(1-gamma) as a fast, robust reaction to entirely
+// unseen arrival processes.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deepbat/internal/lambda"
+	"deepbat/internal/surrogate"
+)
+
+// Optimizer selects configurations from surrogate predictions.
+type Optimizer struct {
+	Model *surrogate.Model
+	Grid  lambda.Grid
+	// SLO is the latency objective in seconds (Eq. 10b).
+	SLO float64
+	// Pct is the percentile the SLO constrains; it must be one of the
+	// model's predicted percentiles (the paper uses 95).
+	Pct float64
+	// Gamma tightens the effective SLO to SLO*(1-Gamma); 0 disables it.
+	Gamma float64
+}
+
+// New returns an optimizer with the paper's defaults (95th percentile).
+func New(m *surrogate.Model, grid lambda.Grid, slo float64) *Optimizer {
+	return &Optimizer{Model: m, Grid: grid, SLO: slo, Pct: 95}
+}
+
+// Decision is the outcome of one optimization.
+type Decision struct {
+	Config lambda.Config
+	// Prediction is the surrogate output for the chosen configuration.
+	Prediction surrogate.Prediction
+	// Feasible reports whether any configuration met the (tightened) SLO;
+	// when false the decision is the lowest-predicted-tail fallback.
+	Feasible bool
+	// EffectiveSLO is the constraint actually applied after gamma.
+	EffectiveSLO float64
+	// Evaluated counts candidate configurations scored.
+	Evaluated int
+}
+
+// Decide encodes the recent interarrival window once, scores every candidate
+// configuration, and returns the cheapest SLO-feasible one.
+func (o *Optimizer) Decide(window []float64) (Decision, error) {
+	if len(window) == 0 {
+		return Decision{}, errors.New("optimizer: empty arrival window")
+	}
+	cfgs := o.Grid.Configs()
+	if len(cfgs) == 0 {
+		return Decision{}, errors.New("optimizer: empty configuration grid")
+	}
+	if _, ok := pctIndex(o.Model.Cfg, o.Pct); !ok {
+		return Decision{}, fmt.Errorf("optimizer: model does not predict P%g", o.Pct)
+	}
+	eff := o.SLO * (1 - clamp01(o.Gamma))
+	preds := o.Model.PredictGrid(window, cfgs)
+	best := -1
+	fallback := 0
+	bestTail := math.Inf(1)
+	for i, p := range preds {
+		tail, _ := p.Percentile(o.Model.Cfg, o.Pct)
+		if tail < bestTail {
+			bestTail, fallback = tail, i
+		}
+		if tail > eff {
+			continue
+		}
+		if best < 0 || p.CostPerRequest < preds[best].CostPerRequest {
+			best = i
+		}
+	}
+	d := Decision{EffectiveSLO: eff, Evaluated: len(cfgs), Feasible: best >= 0}
+	if best < 0 {
+		best = fallback
+	}
+	d.Config = cfgs[best]
+	d.Prediction = preds[best]
+	return d, nil
+}
+
+func pctIndex(cfg surrogate.ModelConfig, pct float64) (int, bool) {
+	for i, q := range cfg.Percentiles {
+		if q == pct {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.9 {
+		return 0.9
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+package qsim
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"deepbat/internal/lambda"
+)
+
+// decodeArrivals turns fuzz bytes into a nondecreasing timestamp sequence.
+func decodeArrivals(data []byte) []float64 {
+	var ts []float64
+	t := 0.0
+	for len(data) >= 2 {
+		gap := float64(binary.LittleEndian.Uint16(data)) / 1e4 // 0..6.5535s
+		data = data[2:]
+		t += gap
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// FuzzRun drives the simulator with arbitrary arrival gaps and grid-clamped
+// configurations, checking structural invariants: every request is served
+// exactly once, latencies are at least the batch service floor, and costs
+// are at least the per-request fee share.
+func FuzzRun(f *testing.F) {
+	f.Add([]byte{10, 0, 20, 0, 30, 0, 40, 0}, uint16(2048), uint8(4), uint16(50))
+	f.Add([]byte{0, 0, 0, 0}, uint16(128), uint8(1), uint16(0))
+	f.Add([]byte{255, 255, 1, 0}, uint16(10240), uint8(64), uint16(1000))
+	f.Fuzz(func(t *testing.T, raw []byte, mem uint16, batch uint8, timeoutMS uint16) {
+		ts := decodeArrivals(raw)
+		if len(ts) == 0 {
+			return
+		}
+		cfg := lambda.Config{
+			MemoryMB:  lambda.ClampMemory(float64(mem)),
+			BatchSize: int(batch%64) + 1,
+			TimeoutS:  float64(timeoutMS) / 1000,
+		}
+		s := New(lambda.DefaultProfile(), lambda.DefaultPricing())
+		res, err := s.Run(ts, cfg)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		if len(res.Latencies) != len(ts) {
+			t.Fatalf("served %d of %d", len(res.Latencies), len(ts))
+		}
+		served := 0
+		for _, b := range res.Batches {
+			served += b.Size
+			if b.Size < 1 || b.Size > cfg.BatchSize {
+				t.Fatalf("batch size %d out of [1, %d]", b.Size, cfg.BatchSize)
+			}
+		}
+		if served != len(ts) {
+			t.Fatalf("batches cover %d of %d requests", served, len(ts))
+		}
+		minSvc := s.Profile.ServiceTime(cfg.MemoryMB, 1)
+		for i, lat := range res.Latencies {
+			if lat < minSvc-1e-9 || math.IsNaN(lat) || math.IsInf(lat, 0) {
+				t.Fatalf("latency[%d] = %v below service floor %v", i, lat, minSvc)
+			}
+		}
+		minFee := s.Pricing.PerRequestUSD / float64(cfg.BatchSize)
+		for i, c := range res.PerRequestCost {
+			if c < minFee-1e-18 {
+				t.Fatalf("cost[%d] = %v below fee share %v", i, c, minFee)
+			}
+		}
+	})
+}

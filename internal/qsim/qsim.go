@@ -1,0 +1,355 @@
+// Package qsim is the discrete-event simulator of the serverless batching
+// system that both the paper and BATCH use as ground truth. Requests arrive
+// at given timestamps, accumulate in a buffer that dispatches either when the
+// batch size B is reached or T seconds after the first request of the batch
+// arrived, and execute on an autoscaling serverless function with
+// deterministic, configuration-dependent service times. Per-request latency
+// is buffering delay plus service time; cost follows the AWS Lambda pricing
+// model. An optional warm-container pool models cold starts.
+package qsim
+
+import (
+	"errors"
+	"sort"
+
+	"deepbat/internal/lambda"
+	"deepbat/internal/stats"
+)
+
+// Options controls optional simulator behaviour.
+type Options struct {
+	// EnableColdStarts charges the profile's cold-start latency whenever a
+	// dispatch cannot reuse a warm container.
+	EnableColdStarts bool
+	// KeepAlive is how long an idle container stays warm (seconds).
+	KeepAlive float64
+	// MaxConcurrency caps the number of simultaneously executing
+	// invocations, modeling an account concurrency limit; dispatched batches
+	// queue for a free slot. 0 means unlimited (pure autoscaling, the
+	// paper's assumption).
+	MaxConcurrency int
+}
+
+// Simulator evaluates configurations against arrival traces.
+type Simulator struct {
+	Profile lambda.Profile
+	Pricing lambda.Pricing
+	Opts    Options
+}
+
+// New returns a simulator over the given profile and pricing.
+func New(p lambda.Profile, pr lambda.Pricing) *Simulator {
+	return &Simulator{Profile: p, Pricing: pr, Opts: Options{KeepAlive: 600}}
+}
+
+// Batch records one dispatched invocation.
+type Batch struct {
+	DispatchAt float64
+	// StartAt is when execution actually began: equal to DispatchAt unless
+	// the batch had to queue for a concurrency slot.
+	StartAt float64
+	Size    int
+	Service float64 // execution time, including cold start if charged
+	Cost    float64 // invocation cost in USD
+	Cold    bool
+}
+
+// Result holds the outcome of simulating one configuration over a trace.
+type Result struct {
+	Config lambda.Config
+	// Latencies holds the end-to-end latency of every request, in arrival
+	// order: buffering delay + service time (+ cold start when enabled).
+	Latencies []float64
+	// PerRequestCost holds each request's share of its invocation cost.
+	PerRequestCost []float64
+	// DispatchTimes holds each request's batch dispatch timestamp.
+	DispatchTimes []float64
+	Batches       []Batch
+	TotalCost     float64
+}
+
+// ErrNoArrivals is returned when the trace is empty.
+var ErrNoArrivals = errors.New("qsim: empty arrival trace")
+
+// CostPerRequest returns the average USD cost per request.
+func (r *Result) CostPerRequest() float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	return r.TotalCost / float64(len(r.Latencies))
+}
+
+// LatencyPercentile returns the p-th percentile latency.
+func (r *Result) LatencyPercentile(p float64) float64 {
+	v, err := stats.Percentile(r.Latencies, p)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// MeanBatchSize returns the average number of requests per invocation.
+func (r *Result) MeanBatchSize() float64 {
+	if len(r.Batches) == 0 {
+		return 0
+	}
+	total := 0
+	for _, b := range r.Batches {
+		total += b.Size
+	}
+	return float64(total) / float64(len(r.Batches))
+}
+
+// VCR returns the SLO violation count ratio of the run, in percent.
+func (r *Result) VCR(slo float64) float64 { return stats.VCR(r.Latencies, slo) }
+
+// Run simulates the trace of absolute arrival timestamps (nondecreasing)
+// under cfg and returns per-request metrics.
+func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) {
+	if len(arrivals) == 0 {
+		return nil, ErrNoArrivals
+	}
+	if !cfg.Valid() {
+		return nil, errors.New("qsim: invalid configuration " + cfg.String())
+	}
+	n := len(arrivals)
+	res := &Result{
+		Config:         cfg,
+		Latencies:      make([]float64, n),
+		PerRequestCost: make([]float64, n),
+		DispatchTimes:  make([]float64, n),
+	}
+	// Warm-container pool: times at which containers become idle.
+	var warm []float64
+	// Concurrency slots: execution end times of in-flight invocations, kept
+	// as a running window of the most recent MaxConcurrency batches.
+	var slots *slotPool
+	if s.Opts.MaxConcurrency > 0 {
+		slots = newSlotPool(s.Opts.MaxConcurrency)
+	}
+
+	i := 0
+	for i < n {
+		first := arrivals[i]
+		deadline := first + cfg.TimeoutS
+		j := i + 1
+		for j < n && j-i < cfg.BatchSize && arrivals[j] <= deadline {
+			j++
+		}
+		size := j - i
+		dispatch := deadline
+		if size == cfg.BatchSize {
+			dispatch = arrivals[j-1]
+		}
+		start := dispatch
+		if slots != nil {
+			// Wait for the earliest slot to free up, then occupy it.
+			if free := slots.earliest(); free > start {
+				start = free
+			}
+		}
+		svc := s.Profile.ServiceTime(cfg.MemoryMB, size)
+		cold := false
+		if s.Opts.EnableColdStarts {
+			cold = !s.takeWarm(&warm, start)
+			if cold {
+				svc += s.Profile.ColdStart(cfg.MemoryMB)
+			}
+		}
+		if slots != nil {
+			slots.occupy(start + svc)
+		}
+		cost := s.Pricing.InvocationCost(cfg.MemoryMB, svc)
+		res.Batches = append(res.Batches, Batch{
+			DispatchAt: dispatch, StartAt: start, Size: size, Service: svc, Cost: cost, Cold: cold,
+		})
+		res.TotalCost += cost
+		perReq := cost / float64(size)
+		for k := i; k < j; k++ {
+			res.Latencies[k] = start - arrivals[k] + svc
+			res.PerRequestCost[k] = perReq
+			res.DispatchTimes[k] = dispatch
+		}
+		if s.Opts.EnableColdStarts {
+			warm = append(warm, start+svc)
+		}
+		i = j
+	}
+	return res, nil
+}
+
+// slotPool tracks the end times of in-flight invocations under a
+// concurrency cap as a min-heap.
+type slotPool struct {
+	cap  int
+	ends []float64 // min-heap of execution end times
+}
+
+func newSlotPool(capacity int) *slotPool { return &slotPool{cap: capacity} }
+
+// earliest returns the time the next slot frees up (0 when a slot is idle).
+func (p *slotPool) earliest() float64 {
+	if len(p.ends) < p.cap {
+		return 0
+	}
+	return p.ends[0]
+}
+
+// occupy records an execution ending at end, evicting the earliest-ending
+// invocation when the pool is full (its slot is being reused).
+func (p *slotPool) occupy(end float64) {
+	if len(p.ends) == p.cap {
+		p.popMin()
+	}
+	p.push(end)
+}
+
+func (p *slotPool) push(v float64) {
+	p.ends = append(p.ends, v)
+	i := len(p.ends) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.ends[parent] <= p.ends[i] {
+			break
+		}
+		p.ends[parent], p.ends[i] = p.ends[i], p.ends[parent]
+		i = parent
+	}
+}
+
+func (p *slotPool) popMin() {
+	last := len(p.ends) - 1
+	p.ends[0] = p.ends[last]
+	p.ends = p.ends[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(p.ends) && p.ends[l] < p.ends[small] {
+			small = l
+		}
+		if r < len(p.ends) && p.ends[r] < p.ends[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		p.ends[i], p.ends[small] = p.ends[small], p.ends[i]
+		i = small
+	}
+}
+
+// takeWarm removes a warm container usable at time t from the pool, if any,
+// and reports whether one was found.
+func (s *Simulator) takeWarm(warm *[]float64, t float64) bool {
+	pool := *warm
+	for idx, free := range pool {
+		if free <= t && t-free <= s.Opts.KeepAlive {
+			pool[idx] = pool[len(pool)-1]
+			*warm = pool[:len(pool)-1]
+			return true
+		}
+	}
+	// Garbage-collect expired containers to bound the pool.
+	kept := pool[:0]
+	for _, free := range pool {
+		if t-free <= s.Opts.KeepAlive {
+			kept = append(kept, free)
+		}
+	}
+	*warm = kept
+	return false
+}
+
+// Timestamps converts interarrival times to absolute arrival timestamps
+// starting at the first interarrival.
+func Timestamps(inter []float64) []float64 {
+	ts := make([]float64, len(inter))
+	t := 0.0
+	for i, d := range inter {
+		t += d
+		ts[i] = t
+	}
+	return ts
+}
+
+// Interarrivals converts absolute timestamps to interarrival times, with the
+// first entry equal to the first timestamp.
+func Interarrivals(ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	prev := 0.0
+	for i, t := range ts {
+		out[i] = t - prev
+		prev = t
+	}
+	return out
+}
+
+// Target is the ground-truth label vector used to train the surrogate model:
+// the per-request cost followed by the requested latency percentiles.
+type Target struct {
+	CostPerRequest float64
+	Percentiles    []float64 // same order as the requested percentile list
+}
+
+// Vector flattens the target as [cost, p_1, ..., p_k].
+func (t Target) Vector() []float64 {
+	out := make([]float64, 0, 1+len(t.Percentiles))
+	out = append(out, t.CostPerRequest)
+	out = append(out, t.Percentiles...)
+	return out
+}
+
+// Evaluate simulates cfg over the interarrival window and returns the
+// training target with the given latency percentiles (e.g. 50, 75, 90, 95,
+// 99 as predicted by the surrogate).
+func (s *Simulator) Evaluate(inter []float64, cfg lambda.Config, percentiles []float64) (Target, error) {
+	res, err := s.Run(Timestamps(inter), cfg)
+	if err != nil {
+		return Target{}, err
+	}
+	ps, err := stats.Percentiles(res.Latencies, percentiles)
+	if err != nil {
+		return Target{}, err
+	}
+	return Target{CostPerRequest: res.CostPerRequest(), Percentiles: ps}, nil
+}
+
+// GroundTruthBest exhaustively simulates every configuration in the grid and
+// returns the cheapest one whose pct-percentile latency meets the SLO,
+// together with its result. If no configuration is feasible it returns the
+// one with the lowest tail latency. This is the paper's "ground truth"
+// oracle.
+func (s *Simulator) GroundTruthBest(arrivals []float64, grid lambda.Grid, slo, pct float64) (lambda.Config, *Result, error) {
+	if len(arrivals) == 0 {
+		return lambda.Config{}, nil, ErrNoArrivals
+	}
+	type scored struct {
+		cfg  lambda.Config
+		res  *Result
+		tail float64
+	}
+	var all []scored
+	for _, cfg := range grid.Configs() {
+		res, err := s.Run(arrivals, cfg)
+		if err != nil {
+			return lambda.Config{}, nil, err
+		}
+		all = append(all, scored{cfg, res, res.LatencyPercentile(pct)})
+	}
+	bestIdx := -1
+	for i, sc := range all {
+		if sc.tail > slo {
+			continue
+		}
+		if bestIdx < 0 || sc.res.CostPerRequest() < all[bestIdx].res.CostPerRequest() {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		// Infeasible everywhere: fall back to the lowest tail latency.
+		sort.Slice(all, func(i, j int) bool { return all[i].tail < all[j].tail })
+		bestIdx = 0
+	}
+	return all[bestIdx].cfg, all[bestIdx].res, nil
+}

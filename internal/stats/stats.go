@@ -1,0 +1,346 @@
+// Package stats provides the statistical primitives used throughout the
+// DeepBAT reproduction: percentiles, empirical CDFs, error metrics (MAPE),
+// SLO violation counting (VCR), and index-of-dispersion computations for
+// arrival processes.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or 0 when
+// fewer than two samples are present.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SCV returns the squared coefficient of variation, Var/Mean^2.
+// It returns 0 when the mean is zero.
+func SCV(xs []float64) float64 {
+	m := Mean(xs)
+	if m*m == 0 { // includes denormal means whose square underflows
+		return 0
+	}
+	return Variance(xs) / (m * m)
+}
+
+// Autocorrelation returns the lag-k autocorrelation coefficient of xs.
+// Lags that exceed the sample size return 0.
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+k < n; i++ {
+		num += (xs[i] - m) * (xs[i+k] - m)
+	}
+	return num / den
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// Percentiles returns the requested percentiles of xs in one pass over a
+// single sorted copy. The result has the same length and order as ps.
+func Percentiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MAPE returns the mean absolute percentage error between predictions and
+// truths, in percent. Pairs whose true value is zero are skipped; if every
+// pair is skipped MAPE returns 0.
+func MAPE(pred, truth []float64) float64 {
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	var s float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return s / float64(cnt) * 100
+}
+
+// VCR (SLO Violation Count Ratio, Eq. 11 of the paper) returns the percentage
+// of latencies that exceed the SLO.
+func VCR(latencies []float64, slo float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	viol := 0
+	for _, l := range latencies {
+		if l > slo {
+			viol++
+		}
+	}
+	return float64(viol) / float64(len(latencies)) * 100
+}
+
+// CDF is an empirical cumulative distribution function over a sorted sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied, then sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples backing the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) via linear interpolation.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Support returns the min and max of the sample (0,0 for an empty CDF).
+func (c *CDF) Support() (lo, hi float64) {
+	if len(c.sorted) == 0 {
+		return 0, 0
+	}
+	return c.sorted[0], c.sorted[len(c.sorted)-1]
+}
+
+// Points materializes n evenly spaced (x, F(x)) points across the support,
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) (xs, fs []float64) {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil, nil
+	}
+	lo, hi := c.Support()
+	xs = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		fs[i] = c.At(x)
+	}
+	return xs, fs
+}
+
+// IDC computes the empirical index of dispersion of a stationary sequence
+// (typically interarrival times) following the paper's definition:
+//
+//	IDC = (sigma^2 / mu^2) * (1 + 2 * sum_k rho_k)
+//
+// The autocorrelation sum is truncated at maxLag (or when the estimate
+// becomes unreliable near the end of the sample). An IDC of 1 indicates no
+// autocorrelation with exponential-like variability.
+func IDC(xs []float64, maxLag int) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 1
+	}
+	m := Mean(xs)
+	if m*m == 0 { // includes denormal means whose square underflows
+		return 1
+	}
+	scv := Variance(xs) / (m * m)
+	if maxLag > n/2 {
+		maxLag = n / 2
+	}
+	sum := 0.0
+	for k := 1; k <= maxLag; k++ {
+		sum += Autocorrelation(xs, k)
+	}
+	idc := scv * (1 + 2*sum)
+	if idc < 0 {
+		// Negative estimates can occur for short, anticorrelated samples;
+		// clamp to a minimal positive dispersion.
+		idc = 1e-6
+	}
+	return idc
+}
+
+// CountIDC computes the index of dispersion for counts: the ratio
+// Var(N(t))/E(N(t)) for counts of events in windows of the given length,
+// computed over the event timestamps ts (which must be nondecreasing).
+func CountIDC(ts []float64, window float64) float64 {
+	if len(ts) < 2 || window <= 0 {
+		return 1
+	}
+	start, end := ts[0], ts[len(ts)-1]
+	if end <= start {
+		return 1
+	}
+	nw := int((end - start) / window)
+	if nw < 2 {
+		return 1
+	}
+	counts := make([]float64, nw)
+	for _, t := range ts {
+		i := int((t - start) / window)
+		if i >= nw {
+			// Drop events beyond the last full window so partial windows do
+			// not bias the variance estimate.
+			continue
+		}
+		counts[i]++
+	}
+	m := Mean(counts)
+	if m == 0 {
+		return 1
+	}
+	return Variance(counts) / m
+}
+
+// Histogram bins xs into n equal-width bins across [lo, hi] and returns the
+// bin edges (n+1 values) and counts (n values).
+func Histogram(xs []float64, lo, hi float64, n int) (edges []float64, counts []int) {
+	if n <= 0 || hi <= lo {
+		return nil, nil
+	}
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	counts = make([]int, n)
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		if x < lo || x > hi {
+			continue
+		}
+		i := int((x - lo) / w)
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return edges, counts
+}
+
+// Summary holds the descriptive statistics reported by Describe.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Describe computes a Summary of xs. It returns ErrEmpty for no samples.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	ps, err := Percentiles(xs, []float64{0, 50, 90, 95, 99, 100})
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  ps[0],
+		P50:  ps[1],
+		P90:  ps[2],
+		P95:  ps[3],
+		P99:  ps[4],
+		Max:  ps[5],
+	}, nil
+}

@@ -1,0 +1,331 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceAndStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestSCV(t *testing.T) {
+	// Exponential-like sample has SCV near 1.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	if got := SCV(xs); !almostEq(got, 1, 0.05) {
+		t.Fatalf("SCV(exp) = %v, want ~1", got)
+	}
+	if got := SCV([]float64{0, 0}); got != 0 {
+		t.Fatalf("SCV zero-mean = %v, want 0", got)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Perfectly alternating sequence has rho_1 near -1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if got := Autocorrelation(xs, 1); got > -0.9 {
+		t.Fatalf("rho1(alternating) = %v, want near -1", got)
+	}
+	if got := Autocorrelation(xs, 0); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("rho0 = %v, want 1", got)
+	}
+	if got := Autocorrelation(xs, len(xs)+5); got != 0 {
+		t.Fatalf("rho out-of-range = %v, want 0", got)
+	}
+	if got := Autocorrelation([]float64{3, 3, 3}, 1); got != 0 {
+		t.Fatalf("rho constant = %v, want 0 (zero denominator)", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	p, err := Percentile(xs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(p, 29, 1e-9) { // linear interpolation: 20 + 0.6*(35-20)
+		t.Fatalf("P40 = %v, want 29", p)
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("Percentile(nil) error = %v, want ErrEmpty", err)
+	}
+	// Clamping.
+	lo, _ := Percentile(xs, -10)
+	hi, _ := Percentile(xs, 300)
+	if lo != 15 || hi != 50 {
+		t.Fatalf("clamped percentiles = %v,%v want 15,50", lo, hi)
+	}
+	one, _ := Percentile([]float64{7}, 99)
+	if one != 7 {
+		t.Fatalf("single-sample percentile = %v, want 7", one)
+	}
+}
+
+func TestPercentilesBatch(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	got, err := Percentiles(xs, []float64{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Percentiles(nil, []float64{50}); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	pred := []float64{110, 90}
+	truth := []float64{100, 100}
+	if got := MAPE(pred, truth); !almostEq(got, 10, 1e-9) {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+	// Zero truths are skipped.
+	if got := MAPE([]float64{5, 110}, []float64{0, 100}); !almostEq(got, 10, 1e-9) {
+		t.Fatalf("MAPE with zero truth = %v, want 10", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("MAPE all-zero truths = %v, want 0", got)
+	}
+	if got := MAPE(nil, nil); got != 0 {
+		t.Fatalf("MAPE empty = %v, want 0", got)
+	}
+}
+
+func TestVCR(t *testing.T) {
+	ls := []float64{0.05, 0.15, 0.09, 0.2}
+	if got := VCR(ls, 0.1); !almostEq(got, 50, 1e-12) {
+		t.Fatalf("VCR = %v, want 50", got)
+	}
+	if got := VCR(nil, 0.1); got != 0 {
+		t.Fatalf("VCR empty = %v, want 0", got)
+	}
+	if got := VCR(ls, 1); got != 0 {
+		t.Fatalf("VCR high slo = %v, want 0", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2.5); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("CDF(2.5) = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("CDF(0) = %v, want 0", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Fatalf("CDF(4) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Fatalf("Quantile(0.5) = %v, want 2.5", got)
+	}
+	lo, hi := c.Support()
+	if lo != 1 || hi != 4 {
+		t.Fatalf("Support = %v,%v want 1,4", lo, hi)
+	}
+	xs, fs := c.Points(4)
+	if len(xs) != 4 || len(fs) != 4 || fs[0] < 0.2 || fs[3] != 1 {
+		t.Fatalf("Points = %v %v", xs, fs)
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 || empty.Len() != 0 {
+		t.Fatal("empty CDF should return zeros")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			lo, hi := c.Support()
+			x := lo + (hi-lo)*q
+			v := c.At(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p50, _ := Percentile(xs, 50)
+		p95, _ := Percentile(xs, 95)
+		p99, _ := Percentile(xs, 99)
+		return p50 <= p95+1e-9 && p95 <= p99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDCPoisson(t *testing.T) {
+	// Exponential interarrivals (Poisson process) should yield IDC near 1.
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	idc := IDC(xs, 100)
+	if idc < 0.7 || idc > 1.4 {
+		t.Fatalf("IDC(poisson) = %v, want ~1", idc)
+	}
+}
+
+func TestIDCBursty(t *testing.T) {
+	// Strongly autocorrelated on/off interarrivals should have IDC >> 1.
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20000)
+	fast := true
+	for i := range xs {
+		if i%500 == 0 {
+			fast = !fast
+		}
+		if fast {
+			xs[i] = rng.ExpFloat64() * 0.01
+		} else {
+			xs[i] = rng.ExpFloat64() * 1.0
+		}
+	}
+	idc := IDC(xs, 250)
+	if idc < 5 {
+		t.Fatalf("IDC(bursty) = %v, want >> 1", idc)
+	}
+}
+
+func TestIDCEdgeCases(t *testing.T) {
+	if got := IDC(nil, 10); got != 1 {
+		t.Fatalf("IDC(nil) = %v, want 1", got)
+	}
+	if got := IDC([]float64{0, 0, 0}, 2); got != 1 {
+		t.Fatalf("IDC zero-mean = %v, want 1", got)
+	}
+}
+
+func TestCountIDC(t *testing.T) {
+	// Deterministic arrivals: counts per window are constant -> IDC ~ 0.
+	ts := make([]float64, 1000)
+	for i := range ts {
+		ts[i] = float64(i) * 0.1
+	}
+	if got := CountIDC(ts, 10); got > 0.2 {
+		t.Fatalf("CountIDC deterministic = %v, want near 0", got)
+	}
+	if got := CountIDC(nil, 1); got != 1 {
+		t.Fatalf("CountIDC(nil) = %v, want 1", got)
+	}
+	if got := CountIDC(ts, 0); got != 1 {
+		t.Fatalf("CountIDC zero window = %v, want 1", got)
+	}
+	if got := CountIDC(ts, 1000); got != 1 {
+		t.Fatalf("CountIDC single window = %v, want 1", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0.5, 1.5, 1.6, 2.5, 3.0, -1, 5}, 0, 3, 3)
+	if len(edges) != 4 || len(counts) != 3 {
+		t.Fatalf("Histogram shapes: %v %v", edges, counts)
+	}
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("Histogram counts = %v, want [1 2 2]", counts)
+	}
+	if e, c := Histogram(nil, 3, 0, 3); e != nil || c != nil {
+		t.Fatal("invalid range should return nil")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s, err := Describe(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	if !almostEq(s.Mean, 50.5, 1e-9) {
+		t.Fatalf("Describe mean = %v", s.Mean)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("percentile ordering broken: %+v", s)
+	}
+	if _, err := Describe(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}

@@ -1,0 +1,253 @@
+package surrogate
+
+import (
+	"errors"
+	"math/rand"
+
+	"deepbat/internal/loss"
+	"deepbat/internal/opt"
+	"deepbat/internal/stats"
+	"deepbat/internal/tensor"
+)
+
+// TrainConfig holds the optimization hyperparameters. The paper trains for
+// 100 epochs with batch size 8, Adam at lr 1e-3, and the combined loss with
+// alpha = 0.05.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Loss      loss.Config
+	// SLO drives the violation-penalty weighting of the loss.
+	SLO float64
+	// ClipNorm bounds the global gradient norm (0 disables clipping).
+	ClipNorm float64
+	// Seed shuffles minibatches deterministically.
+	Seed int64
+	// Quiet suppresses the per-epoch Progress callback.
+	Progress func(epoch int, trainLoss, valLoss float64)
+}
+
+// DefaultTrainConfig returns the paper's training settings (with fewer
+// epochs than the paper's 100 — the loss plateaus by ~50 there and much
+// earlier at our dataset sizes).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:    30,
+		BatchSize: 8,
+		LR:        0.001,
+		Loss:      loss.Default(),
+		SLO:       0.1,
+		ClipNorm:  5,
+		Seed:      1,
+	}
+}
+
+// FineTuneConfig returns the lighter schedule used to adapt a pre-trained
+// model to an out-of-distribution workload (Section III-D, Model
+// Fine-Tuning): fewer epochs at a reduced learning rate.
+func FineTuneConfig() TrainConfig {
+	c := DefaultTrainConfig()
+	c.Epochs = 8
+	c.LR = 0.0005
+	return c
+}
+
+// History records per-epoch training and validation losses.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+}
+
+// scaleTarget converts a physical target vector into the model's normalized
+// output space.
+func (m *Model) scaleTarget(target []float64) []float64 {
+	out := make([]float64, len(target))
+	for i, v := range target {
+		out[i] = v / m.Norm.OutScale[i]
+	}
+	return out
+}
+
+// sampleLoss builds the scalar loss tensor for one sample: the combined
+// Huber+MAPE loss with violating latency entries up-weighted, and the whole
+// sample scaled by the SLO penalty when its configuration violates.
+func (m *Model) sampleLoss(s Sample, cfg TrainConfig) *tensor.Tensor {
+	pred := m.Forward(s.Seq, s.Config)
+	target := tensor.FromData(m.scaleTarget(s.Target), len(s.Target))
+	weights := loss.SLOWeights(s.Target, cfg.SLO, cfg.Loss)
+	flat := tensor.Reshape(pred, len(s.Target))
+	l := loss.Combined(flat, target, cfg.Loss, weights)
+	if w := loss.SampleWeight(s.Target, cfg.SLO, cfg.Loss); w != 1 {
+		l = tensor.Scale(l, w)
+	}
+	return l
+}
+
+// Train fits the model on train, reporting validation loss on val (which may
+// be nil or empty). Normalization must already be fitted (FitNormalization).
+func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
+	if train == nil || train.Len() == 0 {
+		return nil, errors.New("surrogate: empty training set")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := m.Params()
+	optim := opt.NewAdam(params, cfg.LR)
+	hist := &History{}
+	order := make([]int, train.Len())
+	for i := range order {
+		order[i] = i
+	}
+	m.SetTrain(true)
+	defer m.SetTrain(false)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			optim.ZeroGrad()
+			var batchLoss float64
+			scale := 1 / float64(end-start)
+			for _, idx := range order[start:end] {
+				l := tensor.Scale(m.sampleLoss(train.Samples[idx], cfg), scale)
+				tensor.Backward(l)
+				batchLoss += l.Item()
+			}
+			if cfg.ClipNorm > 0 {
+				opt.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			optim.Step()
+			epochLoss += batchLoss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		valLoss := 0.0
+		if val != nil && val.Len() > 0 {
+			m.SetTrain(false)
+			valLoss = m.EvalLoss(val, cfg)
+			m.SetTrain(true)
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+		hist.ValLoss = append(hist.ValLoss, valLoss)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, epochLoss, valLoss)
+		}
+	}
+	return hist, nil
+}
+
+// FineTune adapts the model to a new workload with the fine-tuning schedule,
+// keeping the existing normalization (the paper fine-tunes the pre-trained
+// weights on a small portion of the new OOD data).
+func (m *Model) FineTune(data *Dataset, cfg TrainConfig) (*History, error) {
+	return m.Train(data, nil, cfg)
+}
+
+// EvalLoss computes the mean combined loss over a dataset without updating
+// parameters.
+func (m *Model) EvalLoss(d *Dataset, cfg TrainConfig) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range d.Samples {
+		total += m.sampleLoss(s, cfg).Item()
+	}
+	return total / float64(d.Len())
+}
+
+// EvalMAPE returns the mean absolute percentage error (percent) of the
+// model's physical-unit predictions across every output of every sample.
+func (m *Model) EvalMAPE(d *Dataset) float64 {
+	var preds, truths []float64
+	for _, s := range d.Samples {
+		p := m.Predict(s.Seq, s.Config)
+		preds = append(preds, p.CostPerRequest)
+		truths = append(truths, s.Target[0])
+		for i, v := range p.Percentiles {
+			preds = append(preds, v)
+			truths = append(truths, s.Target[i+1])
+		}
+	}
+	return stats.MAPE(preds, truths)
+}
+
+// LatencyMAPE is EvalMAPE restricted to the latency percentile outputs
+// (the paper reports latency prediction MAPE in Fig. 13).
+func (m *Model) LatencyMAPE(d *Dataset) float64 {
+	var preds, truths []float64
+	for _, s := range d.Samples {
+		p := m.Predict(s.Seq, s.Config)
+		for i, v := range p.Percentiles {
+			preds = append(preds, v)
+			truths = append(truths, s.Target[i+1])
+		}
+	}
+	return stats.MAPE(preds, truths)
+}
+
+// UnderpredictionQuantile returns the q-quantile (q in [0,1]) of the
+// relative underprediction max(0, (truth - pred)/truth) of the latency
+// percentile pct across a dataset. It is the dataset form of the paper's
+// penalty factor gamma: tightening the SLO by this amount shields the
+// optimizer from the winner's curse of picking configurations whose tail the
+// model happens to underpredict. pct must be one of the model's percentile
+// levels; unknown levels return 0.
+func (m *Model) UnderpredictionQuantile(d *Dataset, pct, q float64) float64 {
+	idx := -1
+	for i, lv := range m.Cfg.Percentiles {
+		if lv == pct {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || d.Len() == 0 {
+		return 0
+	}
+	under := make([]float64, 0, d.Len())
+	for _, s := range d.Samples {
+		truth := s.Target[idx+1]
+		if truth <= 0 {
+			continue
+		}
+		pred := m.Predict(s.Seq, s.Config).Percentiles[idx]
+		u := (truth - pred) / truth
+		if u < 0 {
+			u = 0
+		}
+		under = append(under, u)
+	}
+	if len(under) == 0 {
+		return 0
+	}
+	v, err := stats.Percentile(under, q*100)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// PenaltyGamma returns the paper's robustness penalty factor
+// gamma = |P_hat - P| / P between a predicted and a simulated ground-truth
+// percentile, used to tighten the SLO during optimization for unseen arrival
+// processes.
+func PenaltyGamma(predicted, groundTruth float64) float64 {
+	if groundTruth == 0 {
+		return 0
+	}
+	g := (predicted - groundTruth) / groundTruth
+	if g < 0 {
+		g = -g
+	}
+	return g
+}
