@@ -1,0 +1,26 @@
+# Developer entry points. The repo is pure Go stdlib; no tools beyond the Go
+# toolchain are required.
+
+GO ?= go
+
+# RACE_PKGS covers the packages that exercise the concurrent code paths:
+# the parallel matmul kernels, data-parallel training / no-grad parallel
+# evaluation, and the analytical baseline used by the same experiments.
+RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/...
+
+.PHONY: verify test race bench
+
+## verify: tier-1 gate — full build plus the full test suite.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+test: verify
+
+## race: run the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## bench: regenerate the benchmark regression snapshot (BENCH_1.json).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_1.json

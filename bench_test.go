@@ -115,6 +115,60 @@ func BenchmarkEncoderTrainStep(b *testing.B) {
 	}
 }
 
+// benchTrainDataset fabricates a labeled dataset directly so the training
+// benchmarks measure the optimizer loop, not the simulator.
+func benchTrainDataset(n, seqLen int) *deepbat.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	cfgs := deepbat.DefaultGrid().Configs()
+	pcts := []float64{50, 75, 90, 95, 99}
+	ds := &deepbat.Dataset{Percentiles: pcts}
+	for i := 0; i < n; i++ {
+		seq := make([]float64, seqLen)
+		for j := range seq {
+			seq[j] = 0.005 + 0.01*rng.Float64()
+		}
+		target := make([]float64, 1+len(pcts))
+		target[0] = 2e-6
+		base := 0.02
+		for j := 1; j < len(target); j++ {
+			base += 0.01 * rng.Float64()
+			target[j] = base
+		}
+		ds.Samples = append(ds.Samples, deepbat.Sample{
+			Seq: seq, Config: cfgs[rng.Intn(len(cfgs))], Target: target,
+		})
+	}
+	return ds
+}
+
+// benchTrainEpoch measures one full training epoch (forward + backward +
+// Adam) over a 64-sample synthetic dataset with the given worker count
+// (0 = GOMAXPROCS). Comparing the Serial and Parallel variants shows the
+// data-parallel minibatch speedup on multi-core machines.
+func benchTrainEpoch(b *testing.B, workers int) {
+	b.Helper()
+	ds := benchTrainDataset(64, 32)
+	mc := deepbat.DefaultOptions().Model
+	mc.SeqLen = 32
+	tc := deepbat.DefaultOptions().Train
+	tc.Epochs = 1
+	tc.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := deepbat.NewModel(mc)
+		m.FitNormalization(ds)
+		b.StartTimer()
+		if _, err := m.Train(ds, nil, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochSerial(b *testing.B)   { benchTrainEpoch(b, 1) }
+func BenchmarkTrainEpochParallel(b *testing.B) { benchTrainEpoch(b, 0) }
+
 func BenchmarkQsimRun(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	g, err := arrival.NewGen(arrival.Poisson(100), rng)

@@ -1,0 +1,179 @@
+// Command bench is the performance-regression harness: it runs the core
+// benchmark set programmatically (testing.Benchmark, so the numbers match
+// `go test -bench`) and writes a JSON snapshot — BENCH_<n>.json at the repo
+// root by convention — giving successive PRs a perf trajectory to compare
+// against.
+//
+//	go run ./cmd/bench -out BENCH_1.json
+//
+// The set covers the surrogate hot paths this project optimizes: the matmul
+// kernel, one encoder train step, a full train epoch serial vs parallel
+// (data-parallel minibatch sharding), the encode-once grid sweep, and a full
+// DeepBAT decision.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"deepbat"
+	"deepbat/internal/experiments"
+	"deepbat/internal/nn"
+	"deepbat/internal/tensor"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Snapshot is the file layout of BENCH_<n>.json.
+type Snapshot struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	fmt.Printf("%-24s %12.0f ns/op %12d B/op %9d allocs/op\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func trainDataset(n, seqLen int) *deepbat.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	cfgs := deepbat.DefaultGrid().Configs()
+	pcts := []float64{50, 75, 90, 95, 99}
+	ds := &deepbat.Dataset{Percentiles: pcts}
+	for i := 0; i < n; i++ {
+		seq := make([]float64, seqLen)
+		for j := range seq {
+			seq[j] = 0.005 + 0.01*rng.Float64()
+		}
+		target := make([]float64, 1+len(pcts))
+		target[0] = 2e-6
+		base := 0.02
+		for j := 1; j < len(target); j++ {
+			base += 0.01 * rng.Float64()
+			target[j] = base
+		}
+		ds.Samples = append(ds.Samples, deepbat.Sample{
+			Seq: seq, Config: cfgs[rng.Intn(len(cfgs))], Target: target,
+		})
+	}
+	return ds
+}
+
+func trainEpoch(b *testing.B, workers int) {
+	ds := trainDataset(64, 32)
+	mc := deepbat.DefaultOptions().Model
+	mc.SeqLen = 32
+	tc := deepbat.DefaultOptions().Train
+	tc.Epochs = 1
+	tc.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := deepbat.NewModel(mc)
+		m.FitNormalization(ds)
+		b.StartTimer()
+		if _, err := m.Train(ds, nil, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	flag.Parse()
+
+	snap := Snapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	snap.Results = append(snap.Results, measure("TensorMatMul256", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		x := tensor.Randn(rng, 1, 256, 256)
+		y := tensor.Randn(rng, 1, 256, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, y)
+		}
+	}))
+
+	snap.Results = append(snap.Results, measure("EncoderTrainStep", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		enc := nn.NewEncoder(rng, 2, 16, 32, 2, 0)
+		x := tensor.Randn(rng, 1, 64, 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			y := enc.Forward(x)
+			loss := tensor.SumAll(tensor.Mul(y, y))
+			tensor.Backward(loss)
+			for _, p := range enc.Params() {
+				p.ZeroGrad()
+			}
+		}
+	}))
+
+	snap.Results = append(snap.Results, measure("TrainEpochSerial", func(b *testing.B) { trainEpoch(b, 1) }))
+	snap.Results = append(snap.Results, measure("TrainEpochParallel", func(b *testing.B) { trainEpoch(b, 0) }))
+
+	// The lab pre-trains the shared quick-scale surrogate once; Decide and
+	// GridPredict then measure pure inference.
+	lab := experiments.NewLab(experiments.QuickLabConfig())
+	sys, err := lab.BaseSystem()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: lab setup:", err)
+		os.Exit(1)
+	}
+	inter := lab.Trace("azure").Interarrivals()
+	window := inter[:sys.Model.Cfg.SeqLen]
+	cfgs := deepbat.DefaultGrid().Configs()
+
+	snap.Results = append(snap.Results, measure("GridPredict", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Model.PredictGrid(window, cfgs)
+		}
+	}))
+
+	snap.Results = append(snap.Results, measure("Decide", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Decide(window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: encode:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, snap.GOMAXPROCS)
+}

@@ -53,6 +53,9 @@ type (
 	TrainConfig = surrogate.TrainConfig
 	// Dataset is a labeled (window, configuration) -> target set.
 	Dataset = surrogate.Dataset
+	// Sample is one supervised training example: an interarrival window, a
+	// candidate configuration, and its ground-truth target vector.
+	Sample = surrogate.Sample
 	// Decision is the outcome of one optimization.
 	Decision = optimizer.Decision
 	// Prediction is a de-normalized surrogate output.
@@ -133,6 +136,13 @@ type System struct {
 	Optimizer *optimizer.Optimizer
 	Simulator *qsim.Simulator
 }
+
+// NewModel builds a fresh (untrained) surrogate with the given architecture.
+// Fit normalization and train it yourself (Model.FitNormalization,
+// Model.Train) when constructing datasets outside BuildDataset; Train
+// shards each minibatch across TrainConfig.Workers goroutines (0 =
+// GOMAXPROCS) with bit-deterministic results for a fixed seed.
+func NewModel(cfg ModelConfig) *Model { return surrogate.NewModel(cfg) }
 
 // NewSystem wraps an existing (e.g. loaded) model.
 func NewSystem(m *Model, opts Options) *System {

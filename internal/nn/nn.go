@@ -63,6 +63,12 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Params implements Module.
 func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
 
+// Replicate returns a layer sharing this layer's weights (same backing
+// arrays) with private gradient buffers, for data-parallel workers.
+func (l *Linear) Replicate() *Linear {
+	return &Linear{W: l.W.ShareData(), B: l.B.ShareData()}
+}
+
 // ---------------------------------------------------------------------------
 // FeedForward: Linear -> ReLU -> Linear (the paper's FF blocks)
 // ---------------------------------------------------------------------------
@@ -93,6 +99,15 @@ func (f *FeedForward) Params() []*tensor.Tensor {
 	return CollectParams(f.L1, f.L2)
 }
 
+// Replicate returns a weight-sharing copy with private gradients.
+func (f *FeedForward) Replicate() *FeedForward {
+	return &FeedForward{
+		In: f.In, Hidden: f.Hidden, Out: f.Out,
+		L1: f.L1.Replicate(),
+		L2: f.L2.Replicate(),
+	}
+}
+
 // ---------------------------------------------------------------------------
 // LayerNorm
 // ---------------------------------------------------------------------------
@@ -119,6 +134,11 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Module.
 func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Gain, l.Bias} }
+
+// Replicate returns a weight-sharing copy with private gradients.
+func (l *LayerNorm) Replicate() *LayerNorm {
+	return &LayerNorm{Gain: l.Gain.ShareData(), Bias: l.Bias.ShareData(), Eps: l.Eps}
+}
 
 // ---------------------------------------------------------------------------
 // Dropout
@@ -155,6 +175,18 @@ func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Module (dropout has none).
 func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// SetRNG installs the random stream used for mask draws. Data-parallel
+// training reseeds dropout deterministically per sample so mask draws depend
+// only on the sample, never on which worker runs it.
+func (d *Dropout) SetRNG(rng *rand.Rand) { d.rng = rng }
+
+// Replicate returns a copy with the same drop probability and training flag
+// but its own (initially nil) random stream; install one with SetRNG before
+// training forward passes when P > 0.
+func (d *Dropout) Replicate() *Dropout {
+	return &Dropout{P: d.P, Train: d.Train}
+}
 
 // ---------------------------------------------------------------------------
 // Positional encoding
@@ -245,7 +277,13 @@ func (m *MultiHeadAttention) Forward(q, k, v, mask *tensor.Tensor) *tensor.Tenso
 	vp := m.Wv.Forward(v)
 	scale := 1 / math.Sqrt(float64(m.headDim))
 
-	m.lastScores = m.lastScores[:0]
+	// Recording the attention maps mutates the module, which would race when
+	// many no-grad inference goroutines share one model; skip it there. Every
+	// consumer of LastScores (Fig. 14) runs in grad mode.
+	record := tensor.GradEnabled()
+	if record {
+		m.lastScores = m.lastScores[:0]
+	}
 	var heads *tensor.Tensor
 	for h := 0; h < m.Heads; h++ {
 		off := h * m.headDim
@@ -257,7 +295,9 @@ func (m *MultiHeadAttention) Forward(q, k, v, mask *tensor.Tensor) *tensor.Tenso
 			logits = tensor.Add(logits, mask)
 		}
 		att := tensor.Softmax(logits)
-		m.lastScores = append(m.lastScores, att)
+		if record {
+			m.lastScores = append(m.lastScores, att)
+		}
 		out := tensor.MatMul(att, vh)
 		if heads == nil {
 			heads = out
@@ -276,6 +316,16 @@ func (m *MultiHeadAttention) LastScores() []*tensor.Tensor { return m.lastScores
 // Params implements Module.
 func (m *MultiHeadAttention) Params() []*tensor.Tensor {
 	return CollectParams(m.Wq, m.Wk, m.Wv, m.Wo)
+}
+
+// Replicate returns a weight-sharing copy with private gradients and its own
+// attention-score scratch state.
+func (m *MultiHeadAttention) Replicate() *MultiHeadAttention {
+	return &MultiHeadAttention{
+		Dim: m.Dim, Heads: m.Heads, headDim: m.headDim,
+		Wq: m.Wq.Replicate(), Wk: m.Wk.Replicate(),
+		Wv: m.Wv.Replicate(), Wo: m.Wo.Replicate(),
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -323,9 +373,31 @@ func (e *EncoderLayer) SetTrain(train bool) {
 	e.Drop2.Train = train
 }
 
+// SetDropoutRNG installs one shared random stream on both dropout layers
+// (mirroring the constructor, where they share the model rng and draw in
+// forward order).
+func (e *EncoderLayer) SetDropoutRNG(rng *rand.Rand) {
+	e.Drop1.SetRNG(rng)
+	e.Drop2.SetRNG(rng)
+}
+
 // Params implements Module.
 func (e *EncoderLayer) Params() []*tensor.Tensor {
 	return CollectParams(e.Att, e.FF, e.Norm1, e.Norm2)
+}
+
+// Replicate returns a weight-sharing copy with private gradients. The copy's
+// dropout layers have no random stream until SetDropoutRNG is called.
+func (e *EncoderLayer) Replicate() *EncoderLayer {
+	return &EncoderLayer{
+		Att:   e.Att.Replicate(),
+		FF:    e.FF.Replicate(),
+		Norm1: e.Norm1.Replicate(),
+		Norm2: e.Norm2.Replicate(),
+		Drop1: e.Drop1.Replicate(),
+		Drop2: e.Drop2.Replicate(),
+		Dim:   e.Dim, FFDim: e.FFDim,
+	}
 }
 
 // Encoder is a stack of N encoder layers (the paper uses N = 2).
@@ -355,6 +427,25 @@ func (e *Encoder) SetTrain(train bool) {
 	for _, l := range e.Layers {
 		l.SetTrain(train)
 	}
+}
+
+// SetDropoutRNG installs one shared random stream on every layer's dropout,
+// so mask draws consume it in forward order exactly like the constructor's
+// shared model rng.
+func (e *Encoder) SetDropoutRNG(rng *rand.Rand) {
+	for _, l := range e.Layers {
+		l.SetDropoutRNG(rng)
+	}
+}
+
+// Replicate returns a weight-sharing copy of the stack with private
+// gradients (see EncoderLayer.Replicate).
+func (e *Encoder) Replicate() *Encoder {
+	layers := make([]*EncoderLayer, len(e.Layers))
+	for i, l := range e.Layers {
+		layers[i] = l.Replicate()
+	}
+	return &Encoder{Layers: layers}
 }
 
 // Params implements Module.

@@ -11,12 +11,22 @@
 // out-of-distribution workloads, and an encode-once fast path for grid
 // inference (the sequence is encoded a single time; each candidate
 // configuration only pays for the tiny feature branch and output head).
+//
+// Training is data-parallel: the samples of each minibatch are sharded
+// across workers running weight-sharing model replicas, and the per-sample
+// gradients are reduced in a fixed sample order, so training is
+// bit-deterministic for a given seed regardless of the worker count.
+// Inference entry points (Predict, PredictGrid, EvalLoss, EvalMAPE) run
+// inside tensor.NoGrad — no autograd tape or gradient buffers are allocated
+// — and fan independent forward passes across goroutines.
 package surrogate
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"deepbat/internal/lambda"
 	"deepbat/internal/nn"
@@ -137,6 +147,29 @@ func (m *Model) Params() []*tensor.Tensor {
 	return nn.CollectParams(m.embed, m.enc, m.postAtt, m.featFF, m.outFF)
 }
 
+// replica returns a model whose parameter tensors alias m's weights (updates
+// through the optimizer are immediately visible) but own private gradient
+// buffers and private dropout/attention scratch state. Params() of the
+// replica is index-aligned with m.Params(). The positional table is constant
+// and shared.
+func (m *Model) replica() *Model {
+	return &Model{
+		Cfg:       m.Cfg,
+		Norm:      m.Norm,
+		GammaHint: m.GammaHint,
+		embed:     m.embed.Replicate(),
+		pos:       m.pos,
+		enc:       m.enc.Replicate(),
+		postAtt:   m.postAtt.Replicate(),
+		featFF:    m.featFF.Replicate(),
+		outFF:     m.outFF.Replicate(),
+	}
+}
+
+// setDropoutRNG installs one shared random stream on every dropout layer of
+// the model (only the encoder layers carry dropout).
+func (m *Model) setDropoutRNG(rng *rand.Rand) { m.enc.SetDropoutRNG(rng) }
+
 // NumParams returns the scalar parameter count.
 func (m *Model) NumParams() int { return nn.NumParams(m) }
 
@@ -252,25 +285,68 @@ func (m *Model) decode(out []float64, cfg lambda.Config) Prediction {
 }
 
 // Predict runs one sequence/configuration pair and returns physical-unit
-// predictions.
+// predictions. It runs tape-free: inference never backpropagates, so no
+// autograd state is allocated.
 func (m *Model) Predict(seq []float64, cfg lambda.Config) Prediction {
-	out := m.Forward(seq, cfg)
-	return m.decode(out.Data, cfg)
+	var p Prediction
+	tensor.NoGrad(func() {
+		out := m.Forward(seq, cfg)
+		p = m.decode(out.Data, cfg)
+	})
+	return p
 }
 
 // PredictGrid encodes the sequence once and evaluates every candidate
 // configuration against the shared encoding — the fast path that lets
-// DeepBAT sweep the whole grid in milliseconds (Section III-D/IV-F).
+// DeepBAT sweep the whole grid in milliseconds (Section III-D/IV-F). The
+// whole sweep runs tape-free, and the per-candidate head passes (tiny,
+// independent) are fanned across goroutines.
 func (m *Model) PredictGrid(seq []float64, cfgs []lambda.Config) []Prediction {
-	e1Live := m.EncodeSequence(seq)
-	// Detach the encoding: grid inference never backpropagates.
-	e1 := tensor.FromData(append([]float64(nil), e1Live.Data...), e1Live.Shape...)
 	out := make([]Prediction, len(cfgs))
-	for i, cfg := range cfgs {
-		o := m.headForward(e1, cfg)
-		out[i] = m.decode(o.Data, cfg)
-	}
+	tensor.NoGrad(func() {
+		e1 := m.EncodeSequence(seq)
+		parallelFor(len(cfgs), func(i int) {
+			o := m.headForward(e1, cfgs[i])
+			out[i] = m.decode(o.Data, cfgs[i])
+		})
+	})
 	return out
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across GOMAXPROCS contiguous
+// chunks. fn must only write state owned by index i. With a single processor
+// (or n <= 1) it degenerates to a plain loop with no goroutine overhead.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // AttentionScores runs the sequence branch and returns, per sequence

@@ -3,6 +3,8 @@ package surrogate
 import (
 	"errors"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"deepbat/internal/loss"
 	"deepbat/internal/opt"
@@ -24,6 +26,12 @@ type TrainConfig struct {
 	ClipNorm float64
 	// Seed shuffles minibatches deterministically.
 	Seed int64
+	// Workers is the number of goroutines sharding each minibatch
+	// (0 = GOMAXPROCS). Training is bit-deterministic for a fixed Seed
+	// regardless of the worker count: every sample's gradient lands in its
+	// own buffer and buffers are reduced in sample order, and dropout masks
+	// are seeded per (epoch, sample position), never per worker.
+	Workers int
 	// Quiet suppresses the per-epoch Progress callback.
 	Progress func(epoch int, trainLoss, valLoss float64)
 }
@@ -84,8 +92,45 @@ func (m *Model) sampleLoss(s Sample, cfg TrainConfig) *tensor.Tensor {
 	return l
 }
 
+// sampleSeed derives the dropout seed of the sample at shuffled position pos
+// of the given epoch (splitmix64-style mixing). The seed depends only on
+// (base seed, epoch, position), never on the worker that runs the sample, so
+// serial and parallel training draw identical dropout masks.
+func sampleSeed(base int64, epoch, pos int) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15*uint64(epoch+1) ^ 0xd1342543de82ef95*uint64(pos+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// trainWorkers resolves the effective worker count for one minibatch.
+func trainWorkers(cfgWorkers, batch int) int {
+	w := cfgWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > batch {
+		w = batch
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Train fits the model on train, reporting validation loss on val (which may
 // be nil or empty). Normalization must already be fitted (FitNormalization).
+//
+// The samples of each minibatch are independent, so they are sharded across
+// cfg.Workers goroutines. Each worker drives its own weight-sharing replica
+// of the model (tensor.ShareData: one set of weights, per-replica gradient
+// storage) and writes every sample's gradient into that sample's own
+// opt.GradBuffer. After the workers join, the buffers are reduced into the
+// optimizer's parameters in sample order, clipped, and stepped — so the
+// update is bit-identical for any worker count.
 func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 	if train == nil || train.Len() == 0 {
 		return nil, errors.New("surrogate: empty training set")
@@ -104,8 +149,23 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 	for i := range order {
 		order[i] = i
 	}
-	m.SetTrain(true)
-	defer m.SetTrain(false)
+
+	workers := trainWorkers(cfg.Workers, cfg.BatchSize)
+	reps := make([]*Model, workers)
+	repParams := make([][]*tensor.Tensor, workers)
+	for w := range reps {
+		reps[w] = m.replica()
+		reps[w].SetTrain(true)
+		repParams[w] = reps[w].Params()
+	}
+	// One gradient shard and loss slot per batch position, reused across
+	// batches.
+	bufs := make([]*opt.GradBuffer, cfg.BatchSize)
+	for i := range bufs {
+		bufs[i] = opt.NewGradBuffer(params)
+	}
+	losses := make([]float64, cfg.BatchSize)
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
@@ -115,13 +175,55 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 			if end > len(order) {
 				end = len(order)
 			}
+			bs := end - start
+			scale := 1 / float64(bs)
+			runShard := func(w, lo, hi int) {
+				rep := reps[w]
+				for p := lo; p < hi; p++ {
+					if rep.Cfg.Dropout > 0 {
+						rep.setDropoutRNG(rand.New(rand.NewSource(sampleSeed(cfg.Seed, epoch, start+p))))
+					}
+					buf := bufs[p]
+					buf.Zero()
+					buf.Bind(repParams[w])
+					l := tensor.Scale(rep.sampleLoss(train.Samples[order[start+p]], cfg), scale)
+					tensor.Backward(l)
+					losses[p] = l.Item()
+				}
+			}
+			bw := workers
+			if bw > bs {
+				bw = bs
+			}
+			if bw <= 1 {
+				runShard(0, 0, bs)
+			} else {
+				var wg sync.WaitGroup
+				chunk := (bs + bw - 1) / bw
+				for w := 0; w < bw; w++ {
+					lo := w * chunk
+					hi := lo + chunk
+					if hi > bs {
+						hi = bs
+					}
+					if lo >= hi {
+						break
+					}
+					wg.Add(1)
+					go func(w, lo, hi int) {
+						defer wg.Done()
+						runShard(w, lo, hi)
+					}(w, lo, hi)
+				}
+				wg.Wait()
+			}
+			// Deterministic reduction: sample order, independent of which
+			// worker produced each shard.
 			optim.ZeroGrad()
 			var batchLoss float64
-			scale := 1 / float64(end-start)
-			for _, idx := range order[start:end] {
-				l := tensor.Scale(m.sampleLoss(train.Samples[idx], cfg), scale)
-				tensor.Backward(l)
-				batchLoss += l.Item()
+			for p := 0; p < bs; p++ {
+				bufs[p].AddInto(params)
+				batchLoss += losses[p]
 			}
 			if cfg.ClipNorm > 0 {
 				opt.ClipGradNorm(params, cfg.ClipNorm)
@@ -133,9 +235,7 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 		epochLoss /= float64(batches)
 		valLoss := 0.0
 		if val != nil && val.Len() > 0 {
-			m.SetTrain(false)
 			valLoss = m.EvalLoss(val, cfg)
-			m.SetTrain(true)
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
 		hist.ValLoss = append(hist.ValLoss, valLoss)
@@ -154,29 +254,51 @@ func (m *Model) FineTune(data *Dataset, cfg TrainConfig) (*History, error) {
 }
 
 // EvalLoss computes the mean combined loss over a dataset without updating
-// parameters.
+// parameters. Samples are evaluated tape-free across goroutines; the final
+// sum runs in sample order, so the result is deterministic.
 func (m *Model) EvalLoss(d *Dataset, cfg TrainConfig) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
+	vals := make([]float64, d.Len())
+	tensor.NoGrad(func() {
+		parallelFor(d.Len(), func(i int) {
+			vals[i] = m.sampleLoss(d.Samples[i], cfg).Item()
+		})
+	})
 	var total float64
-	for _, s := range d.Samples {
-		total += m.sampleLoss(s, cfg).Item()
+	for _, v := range vals {
+		total += v
 	}
 	return total / float64(d.Len())
+}
+
+// predictAll runs tape-free predictions for every sample concurrently,
+// returning them in sample order.
+func (m *Model) predictAll(d *Dataset) []Prediction {
+	preds := make([]Prediction, d.Len())
+	tensor.NoGrad(func() {
+		parallelFor(d.Len(), func(i int) {
+			s := d.Samples[i]
+			out := m.Forward(s.Seq, s.Config)
+			preds[i] = m.decode(out.Data, s.Config)
+		})
+	})
+	return preds
 }
 
 // EvalMAPE returns the mean absolute percentage error (percent) of the
 // model's physical-unit predictions across every output of every sample.
 func (m *Model) EvalMAPE(d *Dataset) float64 {
+	all := m.predictAll(d)
 	var preds, truths []float64
-	for _, s := range d.Samples {
-		p := m.Predict(s.Seq, s.Config)
+	for i, s := range d.Samples {
+		p := all[i]
 		preds = append(preds, p.CostPerRequest)
 		truths = append(truths, s.Target[0])
-		for i, v := range p.Percentiles {
+		for j, v := range p.Percentiles {
 			preds = append(preds, v)
-			truths = append(truths, s.Target[i+1])
+			truths = append(truths, s.Target[j+1])
 		}
 	}
 	return stats.MAPE(preds, truths)
@@ -185,12 +307,12 @@ func (m *Model) EvalMAPE(d *Dataset) float64 {
 // LatencyMAPE is EvalMAPE restricted to the latency percentile outputs
 // (the paper reports latency prediction MAPE in Fig. 13).
 func (m *Model) LatencyMAPE(d *Dataset) float64 {
+	all := m.predictAll(d)
 	var preds, truths []float64
-	for _, s := range d.Samples {
-		p := m.Predict(s.Seq, s.Config)
-		for i, v := range p.Percentiles {
+	for i, s := range d.Samples {
+		for j, v := range all[i].Percentiles {
 			preds = append(preds, v)
-			truths = append(truths, s.Target[i+1])
+			truths = append(truths, s.Target[j+1])
 		}
 	}
 	return stats.MAPE(preds, truths)
@@ -214,13 +336,14 @@ func (m *Model) UnderpredictionQuantile(d *Dataset, pct, q float64) float64 {
 	if idx < 0 || d.Len() == 0 {
 		return 0
 	}
+	all := m.predictAll(d)
 	under := make([]float64, 0, d.Len())
-	for _, s := range d.Samples {
+	for i, s := range d.Samples {
 		truth := s.Target[idx+1]
 		if truth <= 0 {
 			continue
 		}
-		pred := m.Predict(s.Seq, s.Config).Percentiles[idx]
+		pred := all[i].Percentiles[idx]
 		u := (truth - pred) / truth
 		if u < 0 {
 			u = 0

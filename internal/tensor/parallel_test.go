@@ -1,0 +1,259 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shapes that stress the row-block partitioner: fewer rows than workers,
+// single-row, single-column, single-inner-dim, and odd sizes that do not
+// divide evenly into chunks.
+var oddShapes = []struct{ n, k, m int }{
+	{1, 1, 1},
+	{1, 7, 5},
+	{3, 1, 9},
+	{5, 4, 1},
+	{2, 3, 2},
+	{7, 7, 7},
+	{13, 5, 11},
+	{64, 3, 17},
+	{31, 32, 33},
+}
+
+// TestMatMulIntoWorkersBitIdentical checks that the parallel forward kernel
+// equals the serial kernel bit-for-bit for every worker count, including
+// workers > n.
+func TestMatMulIntoWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, s := range oddShapes {
+		a := Randn(rng, 1, s.n, s.k)
+		b := Randn(rng, 1, s.k, s.m)
+		want := make([]float64, s.n*s.m)
+		matmulRows(want, a.Data, b.Data, 0, s.n, s.k, s.m)
+		for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+			got := make([]float64, s.n*s.m)
+			matmulIntoWorkers(got, a.Data, b.Data, s.n, s.k, s.m, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v workers=%d: element %d = %v, want %v (bitwise)",
+						s, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulBackwardWorkersBitIdentical checks the parallel dA and dB
+// kernels against their single-worker runs, bit-for-bit, on the same odd
+// shapes. Accumulation starts from a nonzero gradient to cover the +=
+// semantics.
+func TestMatMulBackwardWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, s := range oddShapes {
+		a := Randn(rng, 1, s.n, s.k)
+		b := Randn(rng, 1, s.k, s.m)
+		g := Randn(rng, 1, s.n, s.m)
+		seed := Randn(rng, 0.1, s.n, s.k)
+
+		wantA := append([]float64(nil), seed.Data...)
+		matmulBackwardAWorkers(wantA, b.Data, g.Data, s.n, s.k, s.m, 1)
+		wantB := make([]float64, s.k*s.m)
+		matmulBackwardBWorkers(wantB, a.Data, g.Data, s.n, s.k, s.m, 1)
+
+		for _, workers := range []int{2, 3, 4, 8, 16} {
+			gotA := append([]float64(nil), seed.Data...)
+			matmulBackwardAWorkers(gotA, b.Data, g.Data, s.n, s.k, s.m, workers)
+			for i := range wantA {
+				if gotA[i] != wantA[i] {
+					t.Fatalf("shape %v workers=%d: dA[%d] = %v, want %v (bitwise)",
+						s, workers, i, gotA[i], wantA[i])
+				}
+			}
+			gotB := make([]float64, s.k*s.m)
+			matmulBackwardBWorkers(gotB, a.Data, g.Data, s.n, s.k, s.m, workers)
+			for i := range wantB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("shape %v workers=%d: dB[%d] = %v, want %v (bitwise)",
+						s, workers, i, gotB[i], wantB[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulBackwardMatchesNaive checks the restructured dB loop order (and
+// dA) against a direct dA = g @ B^T, dB = A^T @ g computation through the
+// tape on a product large enough to engage the parallel threshold.
+func TestMatMulBackwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, k, m := 48, 40, 44 // n*k*m > matmulParallelThreshold
+	if n*k*m < matmulParallelThreshold {
+		t.Fatalf("shape too small to engage the parallel path")
+	}
+	a := Randn(rng, 1, n, k).RequireGrad()
+	b := Randn(rng, 1, k, m).RequireGrad()
+	out := MatMul(a, b)
+	loss := SumAll(out)
+	Backward(loss)
+	// With dLoss/dOut = 1 everywhere: dA[i,j] = sum_c B[j,c], dB[j,c] = sum_i A[i,j].
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			want := 0.0
+			for c := 0; c < m; c++ {
+				want += b.Data[j*m+c]
+			}
+			got := a.Grad[i*k+j]
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("dA[%d,%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		for c := 0; c < m; c++ {
+			want := 0.0
+			for i := 0; i < n; i++ {
+				want += a.Data[i*k+j]
+			}
+			got := b.Grad[j*m+c]
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("dB[%d,%d] = %v, want %v", j, c, got, want)
+			}
+		}
+	}
+}
+
+// buildGraph exercises every forward op of the package on deterministic
+// inputs and returns the flattened output values, so a grad-mode run can be
+// compared against a no-grad run.
+func buildGraph(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := Randn(rng, 1, 3, 4).RequireGrad()
+	b := Randn(rng, 1, 3, 4).RequireGrad()
+	w := Randn(rng, 1, 4, 2).RequireGrad()
+	bias := Randn(rng, 1, 2).RequireGrad()
+	gain := Full(1, 4).RequireGrad()
+	gbias := New(4).RequireGrad()
+	target := Randn(rng, 1, 1, 2)
+
+	x := Add(a, b)
+	x = Sub(x, Mul(a, b))
+	x = LayerNorm(x, gain, gbias, 1e-5)
+	x = Scale(AddScalar(x, 0.1), 1.3)
+	h := AddRow(MatMul(x, w), bias)       // (3, 2)
+	h = ConcatCols(h, Tanh(h))            // (3, 4)
+	h = NarrowCols(h, 1, 2)               // (3, 2)
+	h = Softmax(h)                        // (3, 2)
+	h = Mul(ReLU(h), Sigmoid(h))          // (3, 2)
+	pooled := MeanRows(h)                 // (1, 2)
+	pooled = Reshape(pooled, 1, 2)        // (1, 2)
+	tr := Transpose(pooled)               // (2, 1)
+	flatT := Reshape(tr, 1, 2)
+	hub := Huber(pooled, target, 1.0, nil)
+	mape := MAPELoss(pooled, target, nil)
+	mse := MSE(flatT, target)
+	total := Add(Add(hub, mape), Add(mse, MeanAll(h)))
+	total = Add(total, SumAll(pooled))
+
+	var out []float64
+	out = append(out, h.Data...)
+	out = append(out, pooled.Data...)
+	out = append(out, total.Data...)
+	return out
+}
+
+// TestNoGradForwardBitIdentical fuzzes the whole op set: forward values
+// computed inside NoGrad must equal grad-mode values bit-for-bit.
+func TestNoGradForwardBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		want := buildGraph(seed)
+		var got []float64
+		NoGrad(func() { got = buildGraph(seed) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoGradProducesLeaves checks the tape-suppression semantics: results
+// computed under NoGrad carry no parents, no gradient storage, and cannot
+// backpropagate into grad-requiring inputs.
+func TestNoGradProducesLeaves(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2).RequireGrad()
+	b := FromData([]float64{3, 4}, 2).RequireGrad()
+	var c *Tensor
+	NoGrad(func() {
+		c = Mul(Add(a, b), b)
+	})
+	if c.RequiresGrad() || c.Grad != nil {
+		t.Fatal("NoGrad result should not require gradients")
+	}
+	if len(c.parents) != 0 || c.backward != nil {
+		t.Fatal("NoGrad result should not be wired into the tape")
+	}
+	if c.Data[0] != 12 || c.Data[1] != 24 {
+		t.Fatalf("NoGrad forward values wrong: %v", c.Data)
+	}
+}
+
+func TestNoGradNestsAndRestores(t *testing.T) {
+	if !GradEnabled() {
+		t.Fatal("gradients should be enabled by default")
+	}
+	NoGrad(func() {
+		if GradEnabled() {
+			t.Fatal("GradEnabled inside NoGrad")
+		}
+		NoGrad(func() {
+			if GradEnabled() {
+				t.Fatal("GradEnabled inside nested NoGrad")
+			}
+		})
+		if GradEnabled() {
+			t.Fatal("inner scope exit re-enabled gradients too early")
+		}
+	})
+	if !GradEnabled() {
+		t.Fatal("gradients not restored after NoGrad")
+	}
+}
+
+func TestShareData(t *testing.T) {
+	a := FromData([]float64{1, 2, 3}, 3).RequireGrad()
+	Backward(SumAll(a))
+	s := a.ShareData()
+	if &s.Data[0] != &a.Data[0] {
+		t.Fatal("ShareData must alias the weight storage")
+	}
+	if s.Grad == nil || &s.Grad[0] == &a.Grad[0] {
+		t.Fatal("ShareData must allocate a private gradient buffer")
+	}
+	if !s.RequiresGrad() {
+		t.Fatal("ShareData must preserve the grad requirement")
+	}
+	for _, g := range s.Grad {
+		if g != 0 {
+			t.Fatal("ShareData gradient buffer must start zeroed")
+		}
+	}
+	// Writes through the clone are visible to the original (weight updates
+	// propagate to replicas).
+	s.Data[1] = 42
+	if a.Data[1] != 42 {
+		t.Fatal("ShareData write did not propagate")
+	}
+	// Gradients stay private.
+	Backward(SumAll(Mul(s, s)))
+	if a.Grad[0] != 1 {
+		t.Fatalf("original gradient clobbered: %v", a.Grad)
+	}
+}

@@ -10,6 +10,10 @@
 // Tensors are row-major. A Tensor created by an operation records its parents
 // and a backward closure; calling Backward on a scalar result propagates
 // gradients through the recorded tape in reverse topological order.
+//
+// Inference-only code should run inside NoGrad, which suppresses tape
+// recording and gradient allocation entirely: forward values are unchanged
+// (bit-for-bit) but no parents, closures, or Grad buffers are created.
 package tensor
 
 import (
@@ -18,7 +22,30 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// noGradDepth counts the currently active NoGrad scopes across all
+// goroutines. Gradients are recorded only while it is zero. A counter (rather
+// than a bool) lets concurrent inference goroutines nest and overlap NoGrad
+// scopes freely; mixing grad-mode training with no-grad inference at the same
+// instant is not supported (the training loop joins its workers before any
+// evaluation runs).
+var noGradDepth atomic.Int32
+
+// NoGrad runs fn with tape recording disabled: every tensor produced inside
+// the scope is a leaf with no parents, no backward closure, and no Grad
+// buffer. Forward values are identical to grad mode. Scopes nest and may be
+// entered concurrently from multiple goroutines.
+func NoGrad(fn func()) {
+	noGradDepth.Add(1)
+	defer noGradDepth.Add(-1)
+	fn()
+}
+
+// GradEnabled reports whether operations currently record the tape (no
+// NoGrad scope is active).
+func GradEnabled() bool { return noGradDepth.Load() == 0 }
 
 // Tensor is a dense row-major float64 tensor with optional gradient storage.
 type Tensor struct {
@@ -91,6 +118,18 @@ func (t *Tensor) Clone() *Tensor {
 	c.requiresGrad = t.requiresGrad
 	if t.requiresGrad {
 		c.Grad = make([]float64, len(c.Data))
+	}
+	return c
+}
+
+// ShareData returns a tensor that aliases t's Data (writes through either are
+// visible to both) but owns a separate gradient buffer. It is the building
+// block of data-parallel training replicas: each worker gets parameter
+// tensors backed by the same weights with private gradient accumulators.
+func (t *Tensor) ShareData() *Tensor {
+	c := &Tensor{Data: t.Data, Shape: append([]int(nil), t.Shape...), requiresGrad: t.requiresGrad}
+	if t.requiresGrad {
+		c.Grad = make([]float64, len(t.Data))
 	}
 	return c
 }
@@ -184,8 +223,12 @@ func sameShape(op string, a, b *Tensor) {
 	}
 }
 
-// result builds a child tensor wired into the tape.
+// result builds a child tensor wired into the tape. Under NoGrad it returns
+// a bare leaf instead: same data, no parents, no gradient storage.
 func result(op string, data []float64, shape []int, parents ...*Tensor) *Tensor {
+	if noGradDepth.Load() != 0 {
+		return &Tensor{Data: data, Shape: append([]int(nil), shape...), op: op}
+	}
 	out := &Tensor{Data: data, Shape: append([]int(nil), shape...), op: op, parents: parents}
 	for _, p := range parents {
 		if p.requiresGrad {
@@ -372,62 +415,48 @@ func MatMul(a, b *Tensor) *Tensor {
 		out.backward = func() {
 			// dA = dOut @ B^T ; dB = A^T @ dOut
 			if a.requiresGrad {
-				for i := 0; i < n; i++ {
-					gOff := i * m
-					aOff := i * k
-					for j := 0; j < k; j++ {
-						bOff := j * m
-						s := 0.0
-						for c := 0; c < m; c++ {
-							s += out.Grad[gOff+c] * b.Data[bOff+c]
-						}
-						a.Grad[aOff+j] += s
-					}
-				}
+				matmulBackwardA(a.Grad, b.Data, out.Grad, n, k, m)
 			}
 			if b.requiresGrad {
-				for i := 0; i < n; i++ {
-					gOff := i * m
-					aOff := i * k
-					for j := 0; j < k; j++ {
-						av := a.Data[aOff+j]
-						if av == 0 {
-							continue
-						}
-						bOff := j * m
-						for c := 0; c < m; c++ {
-							b.Grad[bOff+c] += av * out.Grad[gOff+c]
-						}
-					}
-				}
+				matmulBackwardB(b.Grad, a.Data, out.Grad, n, k, m)
 			}
 		}
 	}
 	return out
 }
 
-// matmulInto computes dst = A (n×k) × B (k×m) with row-block parallelism for
-// large products.
-func matmulInto(dst, a, b []float64, n, k, m int) {
-	work := n * k * m
-	workers := 1
-	if work >= matmulParallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
-		}
+// matmulWorkers picks the goroutine count for a kernel of the given
+// multiply-add volume whose output has rows independent rows.
+func matmulWorkers(work, rows int) int {
+	if work < matmulParallelThreshold {
+		return 1
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// rowBlocks partitions [0, rows) into worker contiguous blocks and calls
+// fn(lo, hi) for each, concurrently when workers > 1. Each block is computed
+// by exactly one goroutine with the same inner loop order as the serial code,
+// so results are bit-identical for any worker count.
+func rowBlocks(rows, workers int, fn func(lo, hi int)) {
 	if workers <= 1 {
-		matmulRows(dst, a, b, 0, n, k, m)
+		fn(0, rows)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi > rows {
+			hi = rows
 		}
 		if lo >= hi {
 			break
@@ -435,10 +464,74 @@ func matmulInto(dst, a, b []float64, n, k, m int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matmulRows(dst, a, b, lo, hi, k, m)
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// matmulInto computes dst = A (n×k) × B (k×m) with row-block parallelism for
+// large products.
+func matmulInto(dst, a, b []float64, n, k, m int) {
+	matmulIntoWorkers(dst, a, b, n, k, m, matmulWorkers(n*k*m, n))
+}
+
+// matmulIntoWorkers is matmulInto with an explicit worker count (exposed
+// for the parallel-vs-serial property tests).
+func matmulIntoWorkers(dst, a, b []float64, n, k, m, workers int) {
+	rowBlocks(n, workers, func(lo, hi int) {
+		matmulRows(dst, a, b, lo, hi, k, m)
+	})
+}
+
+// matmulBackwardA accumulates dA += dOut @ B^T, parallel over the rows of A.
+// Row blocks write disjoint slices of aGrad and every (i, j) cell sums over c
+// in ascending order, exactly as the serial loop.
+func matmulBackwardA(aGrad, b, outGrad []float64, n, k, m int) {
+	matmulBackwardAWorkers(aGrad, b, outGrad, n, k, m, matmulWorkers(n*k*m, n))
+}
+
+func matmulBackwardAWorkers(aGrad, b, outGrad []float64, n, k, m, workers int) {
+	rowBlocks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gOff := i * m
+			aOff := i * k
+			for j := 0; j < k; j++ {
+				bOff := j * m
+				s := 0.0
+				for c := 0; c < m; c++ {
+					s += outGrad[gOff+c] * b[bOff+c]
+				}
+				aGrad[aOff+j] += s
+			}
+		}
+	})
+}
+
+// matmulBackwardB accumulates dB += A^T @ dOut, parallel over the rows of B
+// (the k dimension) so each goroutine owns a disjoint block of bGrad. For a
+// fixed (j, c) cell the i-summation order matches the serial i-outer loop, so
+// the result is bit-identical for any worker count.
+func matmulBackwardB(bGrad, a, outGrad []float64, n, k, m int) {
+	matmulBackwardBWorkers(bGrad, a, outGrad, n, k, m, matmulWorkers(n*k*m, k))
+}
+
+func matmulBackwardBWorkers(bGrad, a, outGrad []float64, n, k, m, workers int) {
+	rowBlocks(k, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			bOff := j * m
+			for i := 0; i < n; i++ {
+				av := a[i*k+j]
+				if av == 0 {
+					continue
+				}
+				gOff := i * m
+				for c := 0; c < m; c++ {
+					bGrad[bOff+c] += av * outGrad[gOff+c]
+				}
+			}
+		}
+	})
 }
 
 // matmulRows computes rows [lo, hi) of the product using an ikj loop order
