@@ -5,15 +5,29 @@ GO ?= go
 
 # RACE_PKGS covers the packages that exercise the concurrent code paths:
 # the parallel matmul kernels, data-parallel training / no-grad parallel
-# evaluation, and the analytical baseline used by the same experiments.
-RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/...
+# evaluation, the analytical baseline used by the same experiments, and the
+# gateway (which spawns batching/control goroutines under test).
+RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/...
 
-.PHONY: verify test race bench
+.PHONY: verify fmtcheck lint test race bench
 
-## verify: tier-1 gate — full build plus the full test suite.
-verify:
+## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
+## and the full test suite. Every PR must leave this green.
+verify: fmtcheck
+	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) run ./cmd/lint ./...
 	$(GO) test ./...
+
+## fmtcheck: fail (listing the files) if any file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## lint: run the repo-specific static-analysis pass (internal/analysis) over
+## every package. Exits non-zero on findings with file:line diagnostics.
+lint:
+	$(GO) run ./cmd/lint ./...
 
 test: verify
 

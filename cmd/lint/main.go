@@ -1,0 +1,96 @@
+// Command lint runs deepbatlint, the repo-specific static-analysis pass
+// (internal/analysis), over the module.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...                          # whole module (default)
+//	go run ./cmd/lint internal/analysis/testdata/src/determinism
+//
+// With `./...` (or no arguments) every package in the module is analyzed,
+// excluding testdata fixtures. Explicit directory arguments are analyzed
+// as-is, which is how the seeded-violation fixtures are exercised by hand.
+//
+// Exit status: 0 when clean, 1 when findings are reported, 2 on load or
+// type-check errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"deepbat/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lint [./... | package-dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var prog *analysis.Program
+	if len(args) == 1 && args[0] == "./..." {
+		prog, err = analysis.LoadModule(root)
+	} else {
+		dirs := make([]string, len(args))
+		for i, a := range args {
+			if dirs[i], err = filepath.Abs(a); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			prog, err = analysis.LoadDirs(root, dirs)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(prog, analysis.Analyzers())
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

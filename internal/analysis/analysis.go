@@ -1,0 +1,248 @@
+// Package analysis implements deepbatlint, the repo-specific static-analysis
+// pass that machine-checks the invariants the reproduction depends on:
+// bit-determinism of the numeric core, tape-free inference, exact-float
+// hygiene, goroutine join discipline, and silence of library packages. It is
+// built entirely on the standard library (go/parser, go/ast, go/types) —
+// honoring the repo's stdlib-only rule — and is driven by cmd/lint, which is
+// wired into `make lint` / `make verify`.
+//
+// Rules (see DESIGN.md "Enforced invariants" for the rationale):
+//
+//   - determinism: no wall-clock reads or global math/rand in the numeric
+//     core packages (tensor, nn, opt, surrogate, qsim, trace, arrival,
+//     stats, batchopt).
+//   - nograd-hygiene: no autograd-tape-building tensor operation reachable
+//     from a function annotated `//deepbat:nograd` outside a tensor.NoGrad
+//     scope.
+//   - floatcompare: no ==/!= between floating-point operands outside
+//     approved tolerance helpers (comparison against an exact constant zero
+//     is permitted — it guards divisions, not numeric equality).
+//   - goroutine-discipline: every `go` statement in a library package must
+//     be joined (sync.WaitGroup.Wait, channel receive/range, or select) in
+//     the same function.
+//   - noprint: library packages under internal/ never write to the
+//     process-global streams (fmt.Print*, package-level log, os.Stdout/err,
+//     builtin print/println).
+//
+// Deliberate exceptions are documented in the source with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line directly above it. A directive without
+// both a rule and a reason is itself reported (rule "directive"), so
+// exemptions can never be silent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path  string // import path, e.g. deepbat/internal/tensor
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the full set of packages loaded for one lint run, plus the
+// indexes analyzers share (function declarations across the whole module).
+type Program struct {
+	Fset     *token.FileSet
+	Module   string // module path from go.mod
+	Packages []*Package
+
+	decls   map[*types.Func]*ast.FuncDecl
+	declPkg map[*types.Func]*Package
+}
+
+// Analyzer is one lint rule. Analyze is called once per loaded package and
+// may consult the whole Program (the nograd-hygiene rule walks the
+// module-wide call graph).
+type Analyzer interface {
+	Name() string
+	Analyze(prog *Program, pkg *Package) []Finding
+}
+
+// Analyzers returns the full deepbatlint rule set.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&Determinism{},
+		&NoGrad{},
+		&FloatCompare{},
+		&Goroutine{},
+		&NoPrint{},
+	}
+}
+
+// buildIndexes populates the cross-package function-declaration maps.
+func (p *Program) buildIndexes() {
+	p.decls = make(map[*types.Func]*ast.FuncDecl)
+	p.declPkg = make(map[*types.Func]*Package)
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = fd
+					p.declPkg[fn] = pkg
+				}
+			}
+		}
+	}
+}
+
+// FuncDecl returns the syntax and owning package for a function object
+// declared anywhere in the loaded program, or (nil, nil) for functions
+// outside it (stdlib, interface methods).
+func (p *Program) FuncDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	return p.decls[fn], p.declPkg[fn]
+}
+
+// inLibraryScope reports whether pkg is library code: the module root
+// facade or anything under internal/. cmd/ and examples/ are user-facing
+// and exempt from the library-only rules.
+func (p *Program) inLibraryScope(pkg *Package) bool {
+	return pkg.Path == p.Module || strings.HasPrefix(pkg.Path, p.Module+"/internal/")
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil when
+// the callee is not a plain function or method (conversion, func value,
+// builtin, interface method lookup still yields the interface *types.Func —
+// callers that need a body must check FuncDecl).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// hasFileDirective reports whether any comment in any file of the package
+// is exactly the given directive (e.g. "deepbat:deterministic").
+func (pkg *Package) hasFileDirective(directive string) bool {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// funcHasAnnotation reports whether the declaration's doc comment carries
+// the given directive (e.g. "deepbat:nograd").
+func funcHasAnnotation(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// allowKey identifies one (file, line, rule) suppression.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectAllows parses every //lint:allow directive in the program. It
+// returns the suppression set and findings for malformed directives (missing
+// rule or reason).
+func collectAllows(prog *Program) (map[allowKey]bool, []Finding) {
+	allows := make(map[allowKey]bool)
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:  pos,
+							Rule: "directive",
+							Msg:  "malformed //lint:allow: need `//lint:allow <rule> <reason>`",
+						})
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Run executes the analyzers over every loaded package, filters findings
+// through //lint:allow directives, and returns the survivors sorted by
+// position. Malformed directives are themselves findings.
+func Run(prog *Program, analyzers []Analyzer) []Finding {
+	allows, findings := collectAllows(prog)
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			for _, f := range a.Analyze(prog, pkg) {
+				// A directive on the finding's line or the line directly
+				// above suppresses it.
+				if allows[allowKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
+					allows[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Rule}] {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

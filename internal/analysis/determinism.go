@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-reproducibility contract of the numeric
+// core: training and evaluation must be pure functions of their inputs and
+// seeds. Wall-clock reads and the global math/rand source both smuggle in
+// ambient state — one stray call silently breaks the cross-worker-count
+// determinism PR 1 established and the paper's calibration claims rest on.
+//
+// Scope: packages whose import path contains one of the core package names
+// (tensor, nn, opt, surrogate, qsim, trace, arrival, stats, batchopt) as a
+// path element, plus any package carrying a `//deepbat:deterministic` file
+// directive. The real-time gateway and the cmd/ layer are deliberately out
+// of scope: they exist to bridge wall-clock traffic into the deterministic
+// core.
+type Determinism struct{}
+
+// deterministicCore names the numeric-core packages (matched as path
+// elements, so internal/opt is covered but internal/optimizer is not —
+// the optimizer searches over already-deterministic predictions).
+var deterministicCore = map[string]bool{
+	"tensor":    true,
+	"nn":        true,
+	"opt":       true,
+	"surrogate": true,
+	"qsim":      true,
+	"trace":     true,
+	"arrival":   true,
+	"stats":     true,
+	"batchopt":  true,
+}
+
+// bannedTimeFuncs are the package time functions that read or schedule
+// against the wall clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// allowedRandFuncs are the package-level math/rand functions that do NOT
+// touch the global source: they construct explicit, seedable generators.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipfV2":  true, // defensive; v2 keeps the name NewZipf
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+func (d *Determinism) inScope(pkg *Package) bool {
+	for _, elem := range strings.Split(pkg.Path, "/") {
+		if deterministicCore[elem] {
+			return true
+		}
+	}
+	return pkg.hasFileDirective("deepbat:deterministic")
+}
+
+func (d *Determinism) Analyze(prog *Program, pkg *Package) []Finding {
+	if !d.inScope(pkg) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[fn.Name()] {
+					findings = append(findings, Finding{
+						Pos:  prog.Fset.Position(sel.Pos()),
+						Rule: "determinism",
+						Msg:  fmt.Sprintf("time.%s reads the wall clock; deterministic packages must take time as data (pass timestamps/durations in)", fn.Name()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && !allowedRandFuncs[fn.Name()] {
+					findings = append(findings, Finding{
+						Pos:  prog.Fset.Position(sel.Pos()),
+						Rule: "determinism",
+						Msg:  fmt.Sprintf("rand.%s uses the shared global source; thread a seeded *rand.Rand instead", fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

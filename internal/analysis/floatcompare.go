@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point operands in library
+// packages. Exact float equality is almost always a latent bug in numeric
+// code (two mathematically equal computations need not be bit-equal), and
+// where it IS intended — determinism regression tests, sentinel encodings —
+// the intent must be spelled out.
+//
+// Two escapes are approved:
+//
+//   - comparison against an exact constant zero. `x == 0` guards divisions
+//     and skip-sentinels (e.g. MAPE skipping zero targets); zero is exactly
+//     representable and the comparison is well-defined.
+//   - the body of a tolerance helper: a function named ApproxEqual,
+//     approxEqual, AlmostEqual, almostEqual, or EqualWithin. Helpers need a
+//     bit-equality fast path (it is the only correct way to treat equal
+//     infinities).
+//
+// Anything else needs a //lint:allow floatcompare <reason> directive.
+type FloatCompare struct{}
+
+// toleranceHelpers are function names whose bodies may compare floats
+// exactly (the approved helpers the rest of the code is steered toward).
+var toleranceHelpers = map[string]bool{
+	"ApproxEqual": true,
+	"approxEqual": true,
+	"AlmostEqual": true,
+	"almostEqual": true,
+	"EqualWithin": true,
+}
+
+func (*FloatCompare) Name() string { return "floatcompare" }
+
+// isFloat reports whether t is (or is an untyped constant convertible to) a
+// floating-point type.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether the expression is a compile-time constant
+// with value exactly zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+}
+
+func (fc *FloatCompare) Analyze(prog *Program, pkg *Package) []Finding {
+	if !prog.inLibraryScope(pkg) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if toleranceHelpers[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pkg.Info.TypeOf(be.X), pkg.Info.TypeOf(be.Y)
+				if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+					return true
+				}
+				if isZeroConst(pkg.Info, be.X) || isZeroConst(pkg.Info, be.Y) {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:  prog.Fset.Position(be.OpPos),
+					Rule: "floatcompare",
+					Msg: fmt.Sprintf("%s between floating-point operands; use stats.ApproxEqual (or //lint:allow floatcompare <reason> if bit equality is intended)",
+						be.Op),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

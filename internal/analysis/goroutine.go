@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutine enforces join discipline in library packages: a function that
+// launches a goroutine must also contain the machinery that bounds its
+// lifetime — a sync.WaitGroup.Wait, a channel receive or range, or a select.
+// A fire-and-forget `go` statement in library code leaks work past the
+// caller's frame: it races with test teardown, defeats the race detector's
+// happens-before edges, and (in the numeric core) destroys the deterministic
+// scheduling the reproduction depends on.
+//
+// Long-lived daemons that are genuinely joined elsewhere (the gateway's
+// control loop, joined in Close) must say so with
+// //lint:allow goroutine-discipline <reason>.
+type Goroutine struct{}
+
+func (*Goroutine) Name() string { return "goroutine-discipline" }
+
+// isWaitGroupWait reports whether call is (*sync.WaitGroup).Wait.
+func isWaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Wait" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil
+}
+
+// isChanType reports whether t is a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func (g *Goroutine) Analyze(prog *Program, pkg *Package) []Finding {
+	if !prog.inLibraryScope(pkg) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var goStmts []*ast.GoStmt
+			joined := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					goStmts = append(goStmts, n)
+				case *ast.CallExpr:
+					if isWaitGroupWait(pkg.Info, n) {
+						joined = true
+					}
+				case *ast.UnaryExpr:
+					// A channel receive anywhere in the function counts as a
+					// join point (completion-channel pattern).
+					if n.Op.String() == "<-" {
+						joined = true
+					}
+				case *ast.RangeStmt:
+					if isChanType(pkg.Info.TypeOf(n.X)) {
+						joined = true
+					}
+				case *ast.SelectStmt:
+					joined = true
+				}
+				return true
+			})
+			if joined {
+				continue
+			}
+			for _, gs := range goStmts {
+				findings = append(findings, Finding{
+					Pos:  prog.Fset.Position(gs.Pos()),
+					Rule: "goroutine-discipline",
+					Msg:  "goroutine launched without a WaitGroup.Wait, channel receive/range, or select join in the same function",
+				})
+			}
+		}
+	}
+	return findings
+}

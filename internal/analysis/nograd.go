@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoGrad enforces tape-free inference: a function annotated
+// `//deepbat:nograd` promises that no autograd tape is built while it runs.
+// The analyzer walks the module-wide static call graph from every annotated
+// function and reports each tape-building tensor operation that is reachable
+// without passing through a tensor.NoGrad closure. Calls lexically inside a
+// `tensor.NoGrad(func() { ... })` literal are dynamically guarded (the tape
+// is disabled for everything beneath them), so traversal does not descend
+// through them.
+//
+// The rule catches both the direct mistake (an annotated function calling
+// tensor.MatMul outside NoGrad) and the indirect one (an annotated function
+// calling an unannotated helper that builds graph nodes).
+type NoGrad struct {
+	facts map[*types.Func]*nogradFact // lazily built per program
+	built bool
+}
+
+// graphOps are the tensor-package entry points that allocate tape state
+// (parents, backward closures, Grad buffers) when called in grad mode.
+// tensor.New/FromData/FromScalar/Randn/Full/Clone/ShareData construct leaf
+// tensors with no tape and are deliberately absent.
+var graphOps = map[string]bool{
+	"Add": true, "Sub": true, "Mul": true, "AddRow": true, "Scale": true,
+	"AddScalar": true, "MatMul": true, "Transpose": true, "ReLU": true,
+	"Sigmoid": true, "Tanh": true, "Softmax": true, "LayerNorm": true,
+	"SumAll": true, "MeanAll": true, "MeanRows": true, "ConcatCols": true,
+	"NarrowCols": true, "Reshape": true, "Huber": true, "MAPELoss": true,
+	"MSE": true, "Backward": true,
+	// Methods that arm gradient storage on a tensor.
+	"RequireGrad": true,
+}
+
+// nogradFact summarizes one function body for the reachability pass.
+type nogradFact struct {
+	// graphCalls are tape-building tensor calls NOT guarded by an enclosing
+	// tensor.NoGrad closure within this function.
+	graphCalls []graphCall
+	// callees are statically resolved calls (with bodies in the program)
+	// NOT guarded by an enclosing tensor.NoGrad closure.
+	callees []*types.Func
+}
+
+type graphCall struct {
+	pos  token.Pos
+	name string
+}
+
+func (*NoGrad) Name() string { return "nograd-hygiene" }
+
+// tensorPath returns the import path of the tensor package for this module.
+func tensorPath(prog *Program) string { return prog.Module + "/internal/tensor" }
+
+// isNoGradCall reports whether call invokes tensor.NoGrad.
+func isNoGradCall(prog *Program, info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tensorPath(prog) && fn.Name() == "NoGrad"
+}
+
+// buildFacts computes per-function summaries for every declared function in
+// the program.
+func (ng *NoGrad) buildFacts(prog *Program) {
+	ng.facts = make(map[*types.Func]*nogradFact)
+	tpath := tensorPath(prog)
+	for fn, fd := range prog.decls {
+		if fd.Body == nil {
+			continue
+		}
+		pkg := prog.declPkg[fn]
+		fact := &nogradFact{}
+
+		// Pass 1: the source intervals of func literals passed to
+		// tensor.NoGrad — everything inside them is dynamically guarded.
+		type interval struct{ lo, hi token.Pos }
+		var guarded []interval
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isNoGradCall(prog, pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					guarded = append(guarded, interval{lit.Pos(), lit.End()})
+				}
+			}
+			return true
+		})
+		inGuard := func(pos token.Pos) bool {
+			for _, iv := range guarded {
+				if iv.lo <= pos && pos < iv.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Pass 2: unguarded graph ops and call edges.
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || inGuard(call.Pos()) {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if callee.Pkg() != nil && callee.Pkg().Path() == tpath && graphOps[callee.Name()] {
+				fact.graphCalls = append(fact.graphCalls, graphCall{call.Pos(), callee.Name()})
+				return true
+			}
+			if _, ok := prog.decls[callee]; ok && !seen[callee] {
+				seen[callee] = true
+				fact.callees = append(fact.callees, callee)
+			}
+			return true
+		})
+		ng.facts[fn] = fact
+	}
+	ng.built = true
+}
+
+func (ng *NoGrad) Analyze(prog *Program, pkg *Package) []Finding {
+	if !ng.built {
+		ng.buildFacts(prog)
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !funcHasAnnotation(fd, "deepbat:nograd") {
+				continue
+			}
+			root, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if root == nil {
+				continue
+			}
+			findings = append(findings, ng.check(prog, root)...)
+		}
+	}
+	return findings
+}
+
+// check walks the unguarded call graph from the annotated root and reports
+// every reachable tape-building operation.
+func (ng *NoGrad) check(prog *Program, root *types.Func) []Finding {
+	var findings []Finding
+	visited := map[*types.Func]bool{root: true}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fact := ng.facts[fn]
+		if fact == nil {
+			continue
+		}
+		for _, gc := range fact.graphCalls {
+			via := ""
+			if fn != root {
+				via = fmt.Sprintf(" (reached via %s)", fn.Name())
+			}
+			findings = append(findings, Finding{
+				Pos:  prog.Fset.Position(gc.pos),
+				Rule: "nograd-hygiene",
+				Msg: fmt.Sprintf("tensor.%s builds the autograd tape but is reachable from //deepbat:nograd function %s outside tensor.NoGrad%s",
+					gc.name, root.Name(), via),
+			})
+		}
+		for _, callee := range fact.callees {
+			if !visited[callee] {
+				visited[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NoPrint keeps library packages silent: code under internal/ (and the
+// module-root facade) must never write to the process-global streams.
+// Reports and traces are returned as values or written to injected
+// io.Writers; only cmd/ and examples/ own stdout/stderr. Flagged:
+// fmt.Print/Printf/Println, every package-level log function except
+// log.New, direct references to os.Stdout/os.Stderr, and the print/println
+// builtins. Methods on an injected *log.Logger are fine — the caller chose
+// the sink.
+type NoPrint struct{}
+
+// bannedFmtFuncs are the fmt functions hard-wired to os.Stdout.
+var bannedFmtFuncs = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func (*NoPrint) Name() string { return "noprint" }
+
+func (np *NoPrint) Analyze(prog *Program, pkg *Package) []Finding {
+	if !prog.inLibraryScope(pkg) {
+		return nil
+	}
+	var findings []Finding
+	flag := func(n ast.Node, what string) {
+		findings = append(findings, Finding{
+			Pos:  prog.Fset.Position(n.Pos()),
+			Rule: "noprint",
+			Msg:  fmt.Sprintf("%s writes to a process-global stream; library code must return values or write to an injected io.Writer", what),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				switch obj := pkg.Info.Uses[n.Sel].(type) {
+				case *types.Func:
+					if obj.Pkg() == nil {
+						return true
+					}
+					sig, _ := obj.Type().(*types.Signature)
+					pkgLevel := sig != nil && sig.Recv() == nil
+					if obj.Pkg().Path() == "fmt" && bannedFmtFuncs[obj.Name()] {
+						flag(n, "fmt."+obj.Name())
+					}
+					if obj.Pkg().Path() == "log" && pkgLevel && obj.Name() != "New" {
+						flag(n, "log."+obj.Name())
+					}
+				case *types.Var:
+					if obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+						(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+						flag(n, "os."+obj.Name())
+					}
+				}
+			case *ast.Ident:
+				if b, ok := pkg.Info.Uses[n].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					flag(n, "builtin "+b.Name())
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,9 @@
+// Package badallow is a deepbatlint fixture: a //lint:allow directive
+// missing its reason is itself a finding (rule "directive").
+package badallow
+
+func F() int {
+	// want-next directive
+	//lint:allow noprint
+	return 1
+}

@@ -1,0 +1,32 @@
+// Package determinism is a deepbatlint fixture: seeded violations of the
+// determinism rule, with expected findings marked by `// want <rule>`
+// trailing comments.
+//
+//deepbat:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the wall clock in a deterministic package.
+func WallClock() float64 {
+	start := time.Now()          // want determinism
+	elapsed := time.Since(start) // want determinism
+	_ = elapsed
+	return rand.Float64() // want determinism
+}
+
+// GlobalRand mixes global and seeded sources.
+func GlobalRand(n int) int {
+	rng := rand.New(rand.NewSource(42)) // seeded generator: allowed
+	_ = rng.Intn(n)                     // method on *rand.Rand: allowed
+	return rand.Intn(n)                 // want determinism
+}
+
+// Exempted documents a deliberate wall-clock read.
+func Exempted() time.Time {
+	//lint:allow determinism fixture exercising the allow directive
+	return time.Now()
+}

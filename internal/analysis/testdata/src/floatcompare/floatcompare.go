@@ -1,0 +1,40 @@
+// Package floatcompare is a deepbatlint fixture: seeded violations of the
+// floatcompare rule.
+package floatcompare
+
+import "math"
+
+// Compare exercises flagged and approved comparisons.
+func Compare(a, b float64, c float32) bool {
+	if a == b { // want floatcompare
+		return true
+	}
+	if c != 1.5 { // want floatcompare
+		return false
+	}
+	if a == 0 { // constant zero: approved (division guard)
+		return false
+	}
+	if 0.0 != b { // constant zero on the left: approved
+		return true
+	}
+	n := 3
+	return n == 4 // integers: out of scope
+}
+
+// approxEqual is an approved tolerance helper: exact equality inside is the
+// infinity fast path.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Exempted documents an intended bit-equality check.
+func Exempted(a, b float64) bool {
+	//lint:allow floatcompare determinism regression check requires bit equality
+	return a == b
+}
+
+var _ = approxEqual

@@ -1,0 +1,59 @@
+// Package goroutine is a deepbatlint fixture: seeded violations of the
+// goroutine-discipline rule.
+package goroutine
+
+import "sync"
+
+func work() {}
+
+// Leak launches a goroutine with no join in the same function.
+func Leak() {
+	go work() // want goroutine-discipline
+}
+
+// WaitGroupJoin is clean: joined through wg.Wait.
+func WaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChannelJoin is clean: joined through a completion-channel receive.
+func ChannelJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// RangeJoin is clean: results are drained by ranging over a channel.
+func RangeJoin() {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	for range out {
+	}
+}
+
+// SelectJoin is clean: joined through select.
+func SelectJoin() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	select {
+	case <-done:
+	}
+}
+
+// Exempted documents a deliberately detached goroutine.
+func Exempted() {
+	//lint:allow goroutine-discipline fixture exercising the allow directive
+	go work()
+}

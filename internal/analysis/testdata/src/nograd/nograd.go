@@ -1,0 +1,57 @@
+// Package nograd is a deepbatlint fixture: seeded violations of the
+// nograd-hygiene rule against the real tensor package.
+package nograd
+
+import "deepbat/internal/tensor"
+
+// BadDirect builds tape nodes directly in an annotated function.
+//
+//deepbat:nograd
+func BadDirect(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMul(a, b) // want nograd-hygiene
+}
+
+// BadTransitive reaches a tape-building helper through a call edge.
+//
+//deepbat:nograd
+func BadTransitive(a, b *tensor.Tensor) *tensor.Tensor {
+	return helper(a, b)
+}
+
+func helper(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(a, b) // want nograd-hygiene
+}
+
+// Good wraps all graph work in tensor.NoGrad: clean.
+//
+//deepbat:nograd
+func Good(a, b *tensor.Tensor) *tensor.Tensor {
+	var out *tensor.Tensor
+	tensor.NoGrad(func() {
+		out = tensor.Mul(a, b)
+	})
+	return out
+}
+
+// GoodIndirect calls a guarded helper through NoGrad: traversal must not
+// descend into calls inside the closure.
+//
+//deepbat:nograd
+func GoodIndirect(a, b *tensor.Tensor) *tensor.Tensor {
+	var out *tensor.Tensor
+	tensor.NoGrad(func() {
+		out = helper2(a, b)
+	})
+	return out
+}
+
+func helper2(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.Sub(a, b)
+}
+
+// unannotated may build tape nodes freely: clean.
+func unannotated(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.Scale(tensor.Add(a, b), 0.5)
+}
+
+var _ = unannotated

@@ -1,0 +1,34 @@
+// Package noprint is a deepbatlint fixture: seeded violations of the
+// noprint rule.
+package noprint
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+)
+
+// Noisy writes to the process-global streams.
+func Noisy(v int) {
+	fmt.Println("value", v)               // want noprint
+	fmt.Printf("value %d\n", v)           // want noprint
+	log.Printf("value %d", v)             // want noprint
+	fmt.Fprintf(os.Stderr, "value %d", v) // want noprint
+	println(v)                            // want noprint
+}
+
+// Quiet uses only approved sinks.
+func Quiet(v int) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "value %d", v)
+	logger := log.New(&buf, "", 0)
+	logger.Printf("value %d", v)
+	return fmt.Sprintf("%s", buf.String())
+}
+
+// Exempted documents a deliberate diagnostic print.
+func Exempted(v int) {
+	//lint:allow noprint fixture exercising the allow directive
+	fmt.Println(v)
+}

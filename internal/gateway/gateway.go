@@ -129,6 +129,7 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 	}
 	if decide != nil && conf.DecideEvery > 0 {
 		g.wg.Add(1)
+		//lint:allow goroutine-discipline long-lived control loop; joined via g.wg.Wait in Close
 		go g.controlLoop()
 	}
 	return g, nil
@@ -235,6 +236,7 @@ func (g *Gateway) enqueue(now time.Time) chan inferResponse {
 			// B = 1 or T = 0: serve immediately, no accumulation.
 			batch, cfg := g.takeBatchLocked()
 			g.mu.Unlock()
+			//lint:allow goroutine-discipline request-scoped batch execution; each waiter is joined on its done channel by handleInfer
 			go g.execute(batch, cfg)
 			return wtr.done
 		}
@@ -245,6 +247,7 @@ func (g *Gateway) enqueue(now time.Time) chan inferResponse {
 	if len(g.pending) >= g.batchCfg.BatchSize {
 		batch, cfg := g.takeBatchLocked()
 		g.mu.Unlock()
+		//lint:allow goroutine-discipline request-scoped batch execution; each waiter is joined on its done channel by handleInfer
 		go g.execute(batch, cfg)
 		return wtr.done
 	}

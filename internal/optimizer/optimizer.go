@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"deepbat/internal/lambda"
+	"deepbat/internal/stats"
 	"deepbat/internal/surrogate"
 )
 
@@ -91,7 +92,7 @@ func (o *Optimizer) Decide(window []float64) (Decision, error) {
 
 func pctIndex(cfg surrogate.ModelConfig, pct float64) (int, bool) {
 	for i, q := range cfg.Percentiles {
-		if q == pct {
+		if stats.ApproxEqual(q, pct, stats.PercentileLevelTol) {
 			return i, true
 		}
 	}

@@ -13,6 +13,23 @@ import (
 // ErrEmpty is returned by functions that require at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ApproxEqual reports whether a and b are equal within the absolute
+// tolerance tol. It is the tolerance helper deepbatlint's floatcompare rule
+// steers all float equality toward: the exact == fast path below is the only
+// place it is approved, and it is required for equal infinities (whose
+// difference is NaN).
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// PercentileLevelTol is the tolerance used when matching configured
+// percentile levels (e.g. 95.0): levels are small exact constants, so any
+// sub-ulp-scale tolerance distinguishes them safely.
+const PercentileLevelTol = 1e-9
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

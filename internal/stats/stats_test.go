@@ -329,3 +329,24 @@ func TestDescribe(t *testing.T) {
 		t.Fatal("expected ErrEmpty")
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},
+		{1.0, 1.1, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1.0, 1e9, false},
+		{0, -0.0, 0, true},
+		{math.NaN(), math.NaN(), 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"deepbat/internal/lambda"
 	"deepbat/internal/nn"
+	"deepbat/internal/stats"
 	"deepbat/internal/tensor"
 )
 
@@ -258,7 +259,7 @@ type Prediction struct {
 // must be one of the model's configured levels.
 func (p Prediction) Percentile(cfg ModelConfig, pct float64) (float64, bool) {
 	for i, q := range cfg.Percentiles {
-		if q == pct {
+		if stats.ApproxEqual(q, pct, stats.PercentileLevelTol) {
 			return p.Percentiles[i], true
 		}
 	}
@@ -287,6 +288,8 @@ func (m *Model) decode(out []float64, cfg lambda.Config) Prediction {
 // Predict runs one sequence/configuration pair and returns physical-unit
 // predictions. It runs tape-free: inference never backpropagates, so no
 // autograd state is allocated.
+//
+//deepbat:nograd
 func (m *Model) Predict(seq []float64, cfg lambda.Config) Prediction {
 	var p Prediction
 	tensor.NoGrad(func() {
@@ -301,6 +304,8 @@ func (m *Model) Predict(seq []float64, cfg lambda.Config) Prediction {
 // DeepBAT sweep the whole grid in milliseconds (Section III-D/IV-F). The
 // whole sweep runs tape-free, and the per-candidate head passes (tiny,
 // independent) are fanned across goroutines.
+//
+//deepbat:nograd
 func (m *Model) PredictGrid(seq []float64, cfgs []lambda.Config) []Prediction {
 	out := make([]Prediction, len(cfgs))
 	tensor.NoGrad(func() {

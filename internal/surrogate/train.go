@@ -86,6 +86,7 @@ func (m *Model) sampleLoss(s Sample, cfg TrainConfig) *tensor.Tensor {
 	weights := loss.SLOWeights(s.Target, cfg.SLO, cfg.Loss)
 	flat := tensor.Reshape(pred, len(s.Target))
 	l := loss.Combined(flat, target, cfg.Loss, weights)
+	//lint:allow floatcompare SampleWeight returns the literal 1.0 for unpenalized samples; bit equality skips a no-op Scale
 	if w := loss.SampleWeight(s.Target, cfg.SLO, cfg.Loss); w != 1 {
 		l = tensor.Scale(l, w)
 	}
@@ -256,6 +257,8 @@ func (m *Model) FineTune(data *Dataset, cfg TrainConfig) (*History, error) {
 // EvalLoss computes the mean combined loss over a dataset without updating
 // parameters. Samples are evaluated tape-free across goroutines; the final
 // sum runs in sample order, so the result is deterministic.
+//
+//deepbat:nograd
 func (m *Model) EvalLoss(d *Dataset, cfg TrainConfig) float64 {
 	if d.Len() == 0 {
 		return 0
@@ -275,6 +278,8 @@ func (m *Model) EvalLoss(d *Dataset, cfg TrainConfig) float64 {
 
 // predictAll runs tape-free predictions for every sample concurrently,
 // returning them in sample order.
+//
+//deepbat:nograd
 func (m *Model) predictAll(d *Dataset) []Prediction {
 	preds := make([]Prediction, d.Len())
 	tensor.NoGrad(func() {
@@ -289,6 +294,8 @@ func (m *Model) predictAll(d *Dataset) []Prediction {
 
 // EvalMAPE returns the mean absolute percentage error (percent) of the
 // model's physical-unit predictions across every output of every sample.
+//
+//deepbat:nograd
 func (m *Model) EvalMAPE(d *Dataset) float64 {
 	all := m.predictAll(d)
 	var preds, truths []float64
@@ -306,6 +313,8 @@ func (m *Model) EvalMAPE(d *Dataset) float64 {
 
 // LatencyMAPE is EvalMAPE restricted to the latency percentile outputs
 // (the paper reports latency prediction MAPE in Fig. 13).
+//
+//deepbat:nograd
 func (m *Model) LatencyMAPE(d *Dataset) float64 {
 	all := m.predictAll(d)
 	var preds, truths []float64
@@ -325,10 +334,12 @@ func (m *Model) LatencyMAPE(d *Dataset) float64 {
 // optimizer from the winner's curse of picking configurations whose tail the
 // model happens to underpredict. pct must be one of the model's percentile
 // levels; unknown levels return 0.
+//
+//deepbat:nograd
 func (m *Model) UnderpredictionQuantile(d *Dataset, pct, q float64) float64 {
 	idx := -1
 	for i, lv := range m.Cfg.Percentiles {
-		if lv == pct {
+		if stats.ApproxEqual(lv, pct, stats.PercentileLevelTol) {
 			idx = i
 			break
 		}
