@@ -5,11 +5,12 @@ GO ?= go
 
 # RACE_PKGS covers the packages that exercise the concurrent code paths:
 # the parallel matmul kernels, data-parallel training / no-grad parallel
-# evaluation, the analytical baseline used by the same experiments, and the
-# gateway (which spawns batching/control goroutines under test).
-RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/...
+# evaluation, the analytical baseline used by the same experiments, the
+# gateway (which spawns batching/control goroutines under test), and the
+# observability registry/recorder hammered from many goroutines.
+RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/obs/...
 
-.PHONY: verify fmtcheck lint test race bench
+.PHONY: verify fmtcheck lint test race bench fuzz
 
 ## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
 ## and the full test suite. Every PR must leave this green.
@@ -35,6 +36,11 @@ test: verify
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-## bench: regenerate the benchmark regression snapshot (BENCH_1.json).
+## bench: regenerate the benchmark regression snapshot (BENCH_2.json).
 bench:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json
+
+## fuzz: a short native-fuzzing pass over the discrete-event simulator's
+## batching invariants (qsim.FuzzRun), sized for CI (~20s).
+fuzz:
+	$(GO) test -fuzz=FuzzRun -fuzztime=20s -run='^$$' ./internal/qsim

@@ -8,8 +8,10 @@
 //
 // The set covers the surrogate hot paths this project optimizes: the matmul
 // kernel, one encoder train step, a full train epoch serial vs parallel
-// (data-parallel minibatch sharding), the encode-once grid sweep, and a full
-// DeepBAT decision.
+// (data-parallel minibatch sharding) vs serial-with-observability, the
+// encode-once grid sweep, and a full DeepBAT decision. The snapshot also
+// records the relative overhead of instrumented training
+// (train_obs_overhead_pct), which the observability PR holds under 5%.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"deepbat"
 	"deepbat/internal/experiments"
 	"deepbat/internal/nn"
+	"deepbat/internal/obs"
 	"deepbat/internal/tensor"
 )
 
@@ -41,6 +44,10 @@ type Snapshot struct {
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Results    []Result `json:"results"`
+	// TrainObsOverheadPct is the relative ns/op cost of TrainEpochInstrumented
+	// over TrainEpochSerial, in percent (may be slightly negative from run
+	// noise).
+	TrainObsOverheadPct float64 `json:"train_obs_overhead_pct"`
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -84,7 +91,7 @@ func trainDataset(n, seqLen int) *deepbat.Dataset {
 	return ds
 }
 
-func trainEpoch(b *testing.B, workers int) {
+func trainEpoch(b *testing.B, workers int, instrumented bool) {
 	ds := trainDataset(64, 32)
 	mc := deepbat.DefaultOptions().Model
 	mc.SeqLen = 32
@@ -96,6 +103,11 @@ func trainEpoch(b *testing.B, workers int) {
 		b.StopTimer()
 		m := deepbat.NewModel(mc)
 		m.FitNormalization(ds)
+		if instrumented {
+			// A fresh registry per iteration includes registration cost in
+			// the measurement — the realistic worst case.
+			tc.Obs = obs.NewRegistry()
+		}
 		b.StartTimer()
 		if _, err := m.Train(ds, nil, tc); err != nil {
 			b.Fatal(err)
@@ -104,7 +116,7 @@ func trainEpoch(b *testing.B, workers int) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	flag.Parse()
 
 	snap := Snapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
@@ -134,8 +146,13 @@ func main() {
 		}
 	}))
 
-	snap.Results = append(snap.Results, measure("TrainEpochSerial", func(b *testing.B) { trainEpoch(b, 1) }))
-	snap.Results = append(snap.Results, measure("TrainEpochParallel", func(b *testing.B) { trainEpoch(b, 0) }))
+	serial := measure("TrainEpochSerial", func(b *testing.B) { trainEpoch(b, 1, false) })
+	snap.Results = append(snap.Results, serial)
+	snap.Results = append(snap.Results, measure("TrainEpochParallel", func(b *testing.B) { trainEpoch(b, 0, false) }))
+	instrumented := measure("TrainEpochInstrumented", func(b *testing.B) { trainEpoch(b, 1, true) })
+	snap.Results = append(snap.Results, instrumented)
+	snap.TrainObsOverheadPct = 100 * (instrumented.NsPerOp - serial.NsPerOp) / serial.NsPerOp
+	fmt.Printf("instrumented training overhead: %+.2f%%\n", snap.TrainObsOverheadPct)
 
 	// The lab pre-trains the shared quick-scale surrogate once; Decide and
 	// GridPredict then measure pure inference.

@@ -1,9 +1,11 @@
 // Command gateway runs the real-time DeepBAT HTTP front-end: POST /infer to
 // submit an inference request (it is batched per the live configuration and
-// answered when its batch completes), GET /stats and GET /config to observe
-// the system. A trained model drives live reconfiguration.
+// answered when its batch completes), GET /stats, /config, /metrics
+// (Prometheus text format), and /metrics.json to observe the system. A
+// trained model drives live reconfiguration.
 //
 //	gateway -model model.gob -addr :8080
+//	gateway -model model.gob -pprof            # also mount /debug/pprof/*
 //	gateway -model model.gob -demo -demo-rate 200 -demo-duration 10s
 //
 // With -demo the command starts the server, drives synthetic Poisson traffic
@@ -18,6 +20,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -33,6 +36,7 @@ func main() {
 	slo := flag.Float64("slo", 0.1, "latency SLO in seconds")
 	decideEvery := flag.Duration("decide-every", 5*time.Second, "control period")
 	timeScale := flag.Float64("time-scale", 1.0, "backend wall-clock scale (0 = instant)")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	demo := flag.Bool("demo", false, "self-drive synthetic traffic and exit")
 	demoRate := flag.Float64("demo-rate", 100, "demo traffic rate (req/s)")
 	demoDur := flag.Duration("demo-duration", 10*time.Second, "demo length")
@@ -72,8 +76,25 @@ func main() {
 		runDemo(gw, *demoRate, *demoDur)
 		return
 	}
-	fmt.Printf("gateway listening on %s (POST /infer, GET /stats, GET /config)\n", *addr)
-	if err := http.ListenAndServe(*addr, gw.Handler()); err != nil {
+	handler := gw.Handler()
+	if *withPprof {
+		// Opt-in profiling: mount the pprof handlers next to the gateway
+		// endpoints instead of relying on http.DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	extra := ""
+	if *withPprof {
+		extra = ", /debug/pprof"
+	}
+	fmt.Printf("gateway listening on %s (POST /infer, GET /stats, GET /config, GET /metrics%s)\n", *addr, extra)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -22,7 +22,10 @@
 //     the same function.
 //   - noprint: library packages under internal/ never write to the
 //     process-global streams (fmt.Print*, package-level log, os.Stdout/err,
-//     builtin print/println).
+//     builtin print/println); telemetry belongs in internal/obs.
+//   - obs-register: library code registers internal/obs metrics through the
+//     error-returning methods, never the panicking Must* wrappers —
+//     duplicate registration must error, not crash the process.
 //
 // Deliberate exceptions are documented in the source with
 //
@@ -90,6 +93,7 @@ func Analyzers() []Analyzer {
 		&FloatCompare{},
 		&Goroutine{},
 		&NoPrint{},
+		&ObsRegister{},
 	}
 }
 

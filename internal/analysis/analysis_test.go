@@ -108,7 +108,7 @@ func sortedKeys(es []expectation) []string {
 // //lint:allow suppression honored.
 func TestFixtures(t *testing.T) {
 	root := moduleRoot(t)
-	fixtures := []string{"determinism", "nograd", "floatcompare", "goroutine", "noprint", "badallow"}
+	fixtures := []string{"determinism", "nograd", "floatcompare", "goroutine", "noprint", "obsregister", "badallow"}
 	for _, name := range fixtures {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -9,7 +9,8 @@ import (
 // NoPrint keeps library packages silent: code under internal/ (and the
 // module-root facade) must never write to the process-global streams.
 // Reports and traces are returned as values or written to injected
-// io.Writers; only cmd/ and examples/ own stdout/stderr. Flagged:
+// io.Writers, and runtime telemetry goes through internal/obs — the
+// sanctioned sink — as registry metrics or recorder events. Flagged:
 // fmt.Print/Printf/Println, every package-level log function except
 // log.New, direct references to os.Stdout/os.Stderr, and the print/println
 // builtins. Methods on an injected *log.Logger are fine — the caller chose
@@ -34,7 +35,7 @@ func (np *NoPrint) Analyze(prog *Program, pkg *Package) []Finding {
 		findings = append(findings, Finding{
 			Pos:  prog.Fset.Position(n.Pos()),
 			Rule: "noprint",
-			Msg:  fmt.Sprintf("%s writes to a process-global stream; library code must return values or write to an injected io.Writer", what),
+			Msg:  fmt.Sprintf("%s writes to a process-global stream; library code must return values, write to an injected io.Writer, or emit telemetry via internal/obs", what),
 		})
 	}
 	for _, file := range pkg.Files {

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsRegister enforces the metric-registration contract of internal/obs in
+// library code: a name collision (same series name registered at a different
+// kind or bucket layout) must surface as an error the caller can return, not
+// a panic. The Must* convenience wrappers panic on misuse and are therefore
+// reserved for cmd/, examples/, and test code — library packages must use
+// the error-returning Counter/Gauge/Histogram methods.
+type ObsRegister struct{}
+
+func (*ObsRegister) Name() string { return "obs-register" }
+
+func (or *ObsRegister) Analyze(prog *Program, pkg *Package) []Finding {
+	if !prog.inLibraryScope(pkg) {
+		return nil
+	}
+	obsPath := prog.Module + "/internal/obs"
+	if pkg.Path == obsPath {
+		// internal/obs declares the wrappers; their doc comments state the
+		// contract this rule enforces everywhere else.
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil || !strings.HasPrefix(fn.Name(), "Must") {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:  prog.Fset.Position(call.Pos()),
+				Rule: "obs-register",
+				Msg: fmt.Sprintf("obs.Registry.%s panics on registration misuse; library code must use the error-returning %s",
+					fn.Name(), strings.TrimPrefix(fn.Name(), "Must")),
+			})
+			return true
+		})
+	}
+	return findings
+}

@@ -1,0 +1,34 @@
+// Package obsregister is a deepbatlint fixture: library code reaching for
+// the panicking Must* registration helpers of internal/obs. Duplicate metric
+// registration must surface as an error, never a panic.
+package obsregister
+
+import "deepbat/internal/obs"
+
+// Bad registers series through the panicking convenience wrappers.
+func Bad(r *obs.Registry) {
+	r.MustCounter("x_total", "")               // want obs-register
+	r.MustGauge("depth", "")                   // want obs-register
+	r.MustHistogram("lat", "", []float64{0.1}) // want obs-register
+}
+
+// Good uses the error-returning registration, so an injected registry with a
+// colliding name fails the call instead of crashing the process.
+func Good(r *obs.Registry) error {
+	c, err := r.Counter("x_total", "")
+	if err != nil {
+		return err
+	}
+	c.Inc()
+	if _, err := r.Gauge("depth", ""); err != nil {
+		return err
+	}
+	_, err = r.Histogram("lat", "", []float64{0.1})
+	return err
+}
+
+// Exempted documents a deliberate panic-on-misuse.
+func Exempted(r *obs.Registry) {
+	//lint:allow obs-register fixture exercising the allow directive
+	r.MustGauge("exempt", "")
+}

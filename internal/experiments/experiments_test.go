@@ -14,7 +14,7 @@ func TestIDsComplete(t *testing.T) {
 		"ablations",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"timing",
+		"obs", "timing",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -58,6 +58,33 @@ func TestWorkloadExperiments(t *testing.T) {
 		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
 			t.Fatalf("%s: empty report", id)
 		}
+	}
+}
+
+func TestObsExperiment(t *testing.T) {
+	rep, err := Run(sharedLab, "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d, want metric snapshot + event stream", len(rep.Tables))
+	}
+	out := rep.String()
+	for _, want := range []string{
+		"qsim_requests_total", "qsim_cold_starts_total",
+		"optimizer_decisions_total", "dispatch", "decide",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("obs report missing %q:\n%s", want, out)
+		}
+	}
+	// The experiment is deterministic end to end: same lab, same tables.
+	again, err := Run(sharedLab, "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("obs experiment not reproducible within one lab")
 	}
 }
 

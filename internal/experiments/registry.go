@@ -28,6 +28,9 @@ var registry = map[string]Runner{
 	// Beyond the paper's own figures: the design-choice ablations that
 	// DESIGN.md calls out.
 	"ablations": Ablations,
+	// Observability: dump an instrumented simulation's metric snapshot and
+	// event stream (internal/obs).
+	"obs": Obs,
 }
 
 // IDs returns the registered experiment identifiers in sorted order.

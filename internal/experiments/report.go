@@ -90,6 +90,9 @@ func (r *Report) String() string {
 // fmtF formats a float compactly.
 func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
 
+// fmtI formats an integer.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }
+
 // fmtMS formats seconds as milliseconds.
 func fmtMS(v float64) string { return fmt.Sprintf("%.1fms", v*1000) }
 

@@ -6,17 +6,24 @@
 // control loop feeds the recent interarrival window to a decision function
 // (the DeepBAT optimizer, or any other controller) and live-reconfigures
 // (M, B, T).
+//
+// Every gateway carries an obs.Registry and obs.Recorder: per-request
+// latency/cost/violation series, dispatch-cause counters, and
+// reconfiguration events, exposed in Prometheus text format at /metrics and
+// as a JSON snapshot at /metrics.json (see the README metric reference).
 package gateway
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"deepbat/internal/core"
 	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
 	"deepbat/internal/stats"
 )
 
@@ -59,6 +66,13 @@ type Config struct {
 	DecideEvery time.Duration
 	// WindowLen is the number of interarrivals handed to Decide.
 	WindowLen int
+	// Obs, when non-nil, is the metric registry the gateway records into;
+	// nil creates a private one. Injecting a shared registry lets one
+	// /metrics page aggregate several components.
+	Obs *obs.Registry
+	// EventCap bounds the reconfiguration/error event stream
+	// (0 = obs.DefaultRecorderCap).
+	EventCap int
 }
 
 // Stats is the JSON document served at /stats.
@@ -87,14 +101,100 @@ type waiter struct {
 	done     chan inferResponse
 }
 
-// Gateway is the running front-end. Create with New, expose via Handler,
-// stop with Close.
+// dispatch causes, as recorded in the gateway_dispatch_*_total counters.
+const (
+	causeSize      = "size"      // batch reached B
+	causeTimeout   = "timeout"   // batch timer fired
+	causeImmediate = "immediate" // B = 1 or T = 0: no accumulation
+	causeFlush     = "flush"     // Stop drained the open batch
+)
+
+// metrics holds the gateway's registered series; names are documented in
+// the README metric reference table.
+type metrics struct {
+	requests    *obs.Counter
+	latency     *obs.Histogram
+	batchSize   *obs.Histogram
+	cost        *obs.Counter
+	violations  *obs.Counter
+	invocations *obs.Counter
+	dispatch    map[string]*obs.Counter // by cause
+	reconfigs   *obs.Counter
+	decideErrs  *obs.Counter
+	pending     *obs.Gauge
+	cfgMemory   *obs.Gauge
+	cfgBatch    *obs.Gauge
+	cfgTimeout  *obs.Gauge
+}
+
+// newMetrics registers the gateway series on reg. Registration errors (name
+// collisions from an injected registry) propagate to New.
+func newMetrics(reg *obs.Registry) (*metrics, error) {
+	m := &metrics{dispatch: make(map[string]*obs.Counter)}
+	var err error
+	register := func(dst **obs.Counter, name, help string) {
+		if err == nil {
+			*dst, err = reg.Counter(name, help)
+		}
+	}
+	register(&m.requests, "gateway_requests_total", "inference requests served")
+	register(&m.cost, "gateway_cost_usd_total", "cumulative invocation cost in USD")
+	register(&m.violations, "gateway_slo_violations_total", "requests whose latency exceeded the SLO")
+	register(&m.invocations, "gateway_invocations_total", "backend invocations executed")
+	register(&m.reconfigs, "gateway_reconfigurations_total", "control-loop configuration changes applied")
+	register(&m.decideErrs, "gateway_decide_errors_total", "control-loop decisions that failed or were invalid")
+	for _, cause := range []string{causeSize, causeTimeout, causeImmediate, causeFlush} {
+		c := cause
+		var dst *obs.Counter
+		register(&dst, "gateway_dispatch_"+c+"_total", "batches dispatched because of "+c)
+		m.dispatch[c] = dst
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.latency, err = reg.Histogram("gateway_request_latency_seconds",
+		"end-to-end request latency", obs.DefaultLatencyBuckets()); err != nil {
+		return nil, err
+	}
+	if m.batchSize, err = reg.Histogram("gateway_batch_size",
+		"requests per dispatched batch", []float64{1, 2, 4, 8, 16, 32, 64}); err != nil {
+		return nil, err
+	}
+	gauge := func(dst **obs.Gauge, name, help string) {
+		if err == nil {
+			*dst, err = reg.Gauge(name, help)
+		}
+	}
+	gauge(&m.pending, "gateway_pending_requests", "requests waiting in the open batch")
+	gauge(&m.cfgMemory, "gateway_config_memory_mb", "active configuration: function memory (MB)")
+	gauge(&m.cfgBatch, "gateway_config_batch_size", "active configuration: batch size B")
+	gauge(&m.cfgTimeout, "gateway_config_timeout_seconds", "active configuration: batch timeout T (s)")
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// setConfig mirrors the active configuration into the config gauges.
+func (m *metrics) setConfig(cfg lambda.Config) {
+	m.cfgMemory.Set(cfg.MemoryMB)
+	m.cfgBatch.Set(float64(cfg.BatchSize))
+	m.cfgTimeout.Set(cfg.TimeoutS)
+}
+
+// Gateway is the running front-end. Create with New (which also starts the
+// control loop), expose via Handler, stop with Stop (or its alias Close).
 type Gateway struct {
 	backend Backend
 	decide  DecideFunc
 	conf    Config
+	obs     *obs.Registry
+	rec     *obs.Recorder
+	met     *metrics
 
 	mu        sync.Mutex
+	started   bool
+	stopped   bool
 	cfg       lambda.Config
 	pending   []waiter
 	batchCfg  lambda.Config // parameters captured when the open batch started
@@ -107,8 +207,10 @@ type Gateway struct {
 	latencies []float64
 	totalCost float64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop    chan struct{}
+	loopWG  sync.WaitGroup // control loop
+	execWG  sync.WaitGroup // spawned batch executions
+	timerWG sync.WaitGroup // armed batch timers (fired or cancelled)
 }
 
 // New builds and starts a gateway. decide may be nil (static configuration).
@@ -119,43 +221,87 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 	if conf.WindowLen <= 0 {
 		conf.WindowLen = 64
 	}
+	reg := conf.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met, err := newMetrics(reg)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: registering metrics: %w", err)
+	}
 	g := &Gateway{
 		backend: backend,
 		decide:  decide,
 		conf:    conf,
+		obs:     reg,
+		rec:     obs.NewRecorder(obs.NewWallClock(), conf.EventCap),
+		met:     met,
 		cfg:     conf.Initial,
 		parser:  core.NewWorkloadParser(conf.WindowLen),
 		stop:    make(chan struct{}),
 	}
-	if decide != nil && conf.DecideEvery > 0 {
-		g.wg.Add(1)
-		//lint:allow goroutine-discipline long-lived control loop; joined via g.wg.Wait in Close
-		go g.controlLoop()
-	}
+	met.setConfig(conf.Initial)
+	g.Start()
 	return g, nil
 }
 
-// Close stops the control loop and flushes any buffered requests.
-func (g *Gateway) Close() {
+// Start launches the control loop. It is called by New; calling it again is
+// a no-op, as is calling it after Stop.
+func (g *Gateway) Start() {
 	g.mu.Lock()
-	select {
-	case <-g.stop:
+	defer g.mu.Unlock()
+	if g.started || g.stopped {
+		return
+	}
+	g.started = true
+	if g.decide != nil && g.conf.DecideEvery > 0 {
+		g.loopWG.Add(1)
+		//lint:allow goroutine-discipline long-lived control loop; joined via g.loopWG.Wait in Stop
+		go g.controlLoop()
+	}
+}
+
+// Stop shuts the gateway down: it stops the control loop, flushes any
+// buffered requests, and joins every goroutine the gateway spawned — the
+// control loop, in-flight batch executions, and armed batch timers. It is
+// idempotent. Callers should drain their HTTP server first, so no new
+// requests arrive concurrently with the shutdown.
+func (g *Gateway) Stop() {
+	g.mu.Lock()
+	if g.stopped {
 		g.mu.Unlock()
 		return
-	default:
 	}
+	g.stopped = true
 	close(g.stop)
 	batch, cfg := g.takeBatchLocked()
 	g.mu.Unlock()
 	if len(batch) > 0 {
-		g.execute(batch, cfg)
+		g.execute(batch, cfg, causeFlush)
 	}
-	g.wg.Wait()
+	g.loopWG.Wait()
+	g.timerWG.Wait()
+	g.execWG.Wait()
+	g.mu.Lock()
+	served := g.served
+	g.mu.Unlock()
+	g.rec.Event("stop", obs.I("served", served))
 }
+
+// Close is an alias for Stop, kept for io.Closer-style call sites.
+func (g *Gateway) Close() { g.Stop() }
+
+// Obs returns the gateway's metric registry (for embedding in a larger
+// exposition page or asserting on in tests).
+func (g *Gateway) Obs() *obs.Registry { return g.obs }
+
+// Events returns the gateway's event recorder (reconfigurations, decide
+// errors, stop).
+func (g *Gateway) Events() *obs.Recorder { return g.rec }
 
 // controlLoop periodically re-optimizes from the parser's window.
 func (g *Gateway) controlLoop() {
-	defer g.wg.Done()
+	defer g.loopWG.Done()
 	ticker := time.NewTicker(g.conf.DecideEvery)
 	defer ticker.Stop()
 	for {
@@ -173,12 +319,19 @@ func (g *Gateway) controlLoop() {
 		}
 		cfg, err := g.decide(window)
 		if err != nil || !cfg.Valid() {
+			g.met.decideErrs.Inc()
+			g.rec.Event("decide_error")
 			continue
 		}
 		g.mu.Lock()
 		if cfg != g.cfg {
+			old := g.cfg
 			g.cfg = cfg
 			g.reconfigs++
+			g.met.reconfigs.Inc()
+			g.met.setConfig(cfg)
+			g.rec.Event("reconfigure",
+				obs.S("from", old.String()), obs.S("to", cfg.String()))
 		}
 		g.mu.Unlock()
 	}
@@ -191,12 +344,16 @@ func (g *Gateway) Config() lambda.Config {
 	return g.cfg
 }
 
-// Handler returns the HTTP mux: POST /infer, GET /stats, GET /config.
+// Handler returns the HTTP mux: POST /infer, GET /stats, GET /config,
+// GET /metrics (Prometheus text format), GET /metrics.json (JSON snapshot
+// plus the event stream).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", g.handleInfer)
 	mux.HandleFunc("/stats", g.handleStats)
 	mux.HandleFunc("/config", g.handleConfig)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/metrics.json", g.handleMetricsJSON)
 	return mux
 }
 
@@ -230,29 +387,49 @@ func (g *Gateway) enqueue(now time.Time) chan inferResponse {
 		// timeout.
 		g.batchCfg = g.cfg
 		g.pending = append(g.pending, wtr)
+		g.met.pending.Set(1)
 		if g.batchCfg.BatchSize > 1 && g.batchCfg.TimeoutS > 0 {
-			g.timer = time.AfterFunc(time.Duration(g.batchCfg.TimeoutS*float64(time.Second)), g.flushTimeout)
+			g.armTimerLocked(time.Duration(g.batchCfg.TimeoutS * float64(time.Second)))
 		} else {
 			// B = 1 or T = 0: serve immediately, no accumulation.
 			batch, cfg := g.takeBatchLocked()
 			g.mu.Unlock()
-			//lint:allow goroutine-discipline request-scoped batch execution; each waiter is joined on its done channel by handleInfer
-			go g.execute(batch, cfg)
+			g.spawnExecute(batch, cfg, causeImmediate)
 			return wtr.done
 		}
 		g.mu.Unlock()
 		return wtr.done
 	}
 	g.pending = append(g.pending, wtr)
+	g.met.pending.Set(float64(len(g.pending)))
 	if len(g.pending) >= g.batchCfg.BatchSize {
 		batch, cfg := g.takeBatchLocked()
 		g.mu.Unlock()
-		//lint:allow goroutine-discipline request-scoped batch execution; each waiter is joined on its done channel by handleInfer
-		go g.execute(batch, cfg)
+		g.spawnExecute(batch, cfg, causeSize)
 		return wtr.done
 	}
 	g.mu.Unlock()
 	return wtr.done
+}
+
+// armTimerLocked starts the batch timeout and registers it with timerWG so
+// Stop can join it whether it fires or is cancelled. Callers hold mu.
+func (g *Gateway) armTimerLocked(d time.Duration) {
+	g.timerWG.Add(1)
+	g.timer = time.AfterFunc(d, func() {
+		defer g.timerWG.Done()
+		g.flushTimeout()
+	})
+}
+
+// spawnExecute runs a batch asynchronously, tracked by execWG.
+func (g *Gateway) spawnExecute(batch []waiter, cfg lambda.Config, cause string) {
+	g.execWG.Add(1)
+	//lint:allow goroutine-discipline request-scoped batch execution; joined on each waiter's done channel by handleInfer and via execWG.Wait in Stop
+	go func() {
+		defer g.execWG.Done()
+		g.execute(batch, cfg, cause)
+	}()
 }
 
 // flushTimeout dispatches the open batch when its timer fires.
@@ -261,7 +438,7 @@ func (g *Gateway) flushTimeout() {
 	batch, cfg := g.takeBatchLocked()
 	g.mu.Unlock()
 	if len(batch) > 0 {
-		g.execute(batch, cfg)
+		g.execute(batch, cfg, causeTimeout)
 	}
 }
 
@@ -270,21 +447,31 @@ func (g *Gateway) flushTimeout() {
 func (g *Gateway) takeBatchLocked() ([]waiter, lambda.Config) {
 	batch := g.pending
 	g.pending = nil
+	g.met.pending.Set(0)
 	if g.timer != nil {
-		g.timer.Stop()
+		if g.timer.Stop() {
+			// The callback will never run; release its timerWG slot here.
+			g.timerWG.Done()
+		}
 		g.timer = nil
 	}
 	return batch, g.batchCfg
 }
 
 // execute runs a batch on the backend and resolves every waiter.
-func (g *Gateway) execute(batch []waiter, cfg lambda.Config) {
+func (g *Gateway) execute(batch []waiter, cfg lambda.Config, cause string) {
 	if cfg.BatchSize == 0 {
 		cfg = g.conf.Initial
 	}
 	dur, cost := g.backend.Execute(cfg, len(batch))
 	finished := time.Now()
 	per := cost / float64(len(batch))
+	g.met.invocations.Inc()
+	g.met.cost.Add(cost)
+	g.met.batchSize.Observe(float64(len(batch)))
+	if c := g.met.dispatch[cause]; c != nil {
+		c.Inc()
+	}
 	g.mu.Lock()
 	g.invoked++
 	g.totalCost += cost
@@ -292,6 +479,11 @@ func (g *Gateway) execute(batch []waiter, cfg lambda.Config) {
 		lat := finished.Sub(wtr.arriveAt)
 		g.served++
 		g.latencies = append(g.latencies, lat.Seconds())
+		g.met.requests.Inc()
+		g.met.latency.Observe(lat.Seconds())
+		if g.conf.SLO > 0 && lat.Seconds() > g.conf.SLO {
+			g.met.violations.Inc()
+		}
 		wtr.done <- inferResponse{
 			ID:        wtr.id,
 			BatchSize: len(batch),
@@ -326,6 +518,28 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleConfig(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(g.Config()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.obs.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetricsJSON serves the JSON snapshot together with the event stream.
+func (g *Gateway) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	doc := struct {
+		Metrics obs.Snapshot `json:"metrics"`
+		Events  []obs.Event  `json:"events"`
+	}{Metrics: g.obs.Snapshot(), Events: g.rec.Events()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

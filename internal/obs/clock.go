@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps in float64 seconds. The origin is the clock's
+// own — qsim time starts at the first arrival, a WallClock at its creation —
+// so instrumentation written against Clock works unchanged on simulated and
+// real time.
+type Clock interface {
+	Now() float64
+}
+
+// WallClock reads the process monotonic clock, reporting seconds since the
+// clock was created. It is the clock for the real-time gateway; never inject
+// it into simulation code (the determinism lint rule keeps time.Now out of
+// the numeric core, and the obs determinism contract depends on it).
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a wall clock with its origin at the call.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() float64 { return time.Since(w.epoch).Seconds() }
+
+// ManualClock is an explicitly driven clock for simulations and tests. The
+// zero value reads 0; it is safe for concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// Now implements Clock.
+func (m *ManualClock) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Set moves the clock to t.
+func (m *ManualClock) Set(t float64) {
+	m.mu.Lock()
+	m.t = t
+	m.mu.Unlock()
+}
+
+// Advance moves the clock forward by d seconds.
+func (m *ManualClock) Advance(d float64) {
+	m.mu.Lock()
+	m.t += d
+	m.mu.Unlock()
+}

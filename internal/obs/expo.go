@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BucketSnapshot is one cumulative histogram bucket: the count of
+// observations <= UpperBound. The final bucket has UpperBound = +Inf
+// (rendered "+Inf" in both formats, since JSON has no infinity literal).
+type BucketSnapshot struct {
+	UpperBound string `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// SeriesSnapshot is the point-in-time state of one series.
+type SeriesSnapshot struct {
+	Name    string           `json:"name"`
+	Kind    Kind             `json:"kind"`
+	Help    string           `json:"help,omitempty"`
+	Value   float64          `json:"value,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot is the full registry state, series sorted by name. Encoding the
+// same observed values always yields the same bytes: map iteration never
+// leaks into the output and floats use encoding/json's canonical shortest
+// form.
+type Snapshot struct {
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// fmtFloat renders a float in the canonical shortest round-trip form shared
+// by both exposition formats.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Snapshot captures the current state of every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, s := range r.sortedSeries() {
+		ss := SeriesSnapshot{Name: s.name, Kind: s.kind, Help: s.help}
+		switch s.kind {
+		case KindCounter:
+			ss.Value = s.c.Value()
+		case KindGauge:
+			ss.Value = s.g.Value()
+		case KindHistogram:
+			h := s.h
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmtFloat(h.bounds[i])
+				}
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{UpperBound: le, Count: cum})
+			}
+			ss.Sum = h.Sum()
+			ss.Count = h.Count()
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON. Output is byte-identical
+// across runs that observed identical values.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON is shorthand for Snapshot().WriteJSON.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, cumulative `le`-labeled
+// histogram buckets, and `_sum`/`_count` series. Series appear sorted by
+// name, so the output is deterministic for identical observed values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.sortedSeries() {
+		if s.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+			return err
+		}
+		var err error
+		switch s.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s %s\n", s.name, fmtFloat(s.c.Value()))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", s.name, fmtFloat(s.g.Value()))
+		case KindHistogram:
+			h := s.h
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmtFloat(h.bounds[i])
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", s.name, fmtFloat(h.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", s.name, h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEventsJSON writes the recorder's event stream (plus the drop counter)
+// as indented JSON, byte-identical across runs that recorded identical
+// events.
+func (r *Recorder) WriteEventsJSON(w io.Writer) error {
+	r.mu.Lock()
+	doc := struct {
+		Events  []Event `json:"events"`
+		Dropped uint64  `json:"dropped,omitempty"`
+	}{Events: append([]Event(nil), r.events...), Dropped: r.dropped}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

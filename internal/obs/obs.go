@@ -1,0 +1,321 @@
+// Package obs is DeepBAT's observability substrate: a stdlib-only registry
+// of named counters, gauges, and fixed-bucket histograms, plus a structured
+// span/event recorder, with two exposition formats (Prometheus text and a
+// deterministic JSON snapshot).
+//
+// The closed loop the repo implements — gateway watches interarrivals,
+// surrogate predicts tails, optimizer reconfigures (M, B, T) — is invisible
+// without first-class telemetry, and the noprint lint rule deliberately
+// forbids ad-hoc output from internal/. obs is the sanctioned sink: library
+// code records into an injected *Registry / *Recorder, and only the edges
+// (cmd/, HTTP handlers, experiment reports) decide where the data goes.
+//
+// Two contracts shape the design:
+//
+//   - Determinism. The same instrumentation must work on qsim's simulated
+//     time and the gateway's wall clock. All timestamps are float64 seconds;
+//     the Recorder runs on an injected Clock (Manual for simulations, Wall
+//     for serving), and simulation code stamps events explicitly with
+//     EventAt — never time.Now. Snapshots are sorted by series name and
+//     rendered with canonical float formatting, so two runs that observe
+//     identical values produce byte-identical JSON.
+//
+//   - Race safety. Metric updates are lock-free (atomic CAS on float64
+//     bits); a Registry may be hammered from many goroutines while another
+//     snapshots it. Histograms with equal bucket bounds are mergeable.
+//
+// Registration is get-or-create and returns an error — never panics — when
+// a name is reused with a different kind or bucket layout; the Must*
+// variants exist for cmd/, examples, and tests only (the obs-register lint
+// rule keeps them out of library code).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a registered series.
+type Kind string
+
+// The three series kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing series (callers must not Add
+// negative deltas; the registry does not police it).
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta float64) { c.v.add(delta) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram counts observations into fixed buckets with upper bounds
+// `bounds` (ascending; an implicit +Inf bucket catches the rest) and tracks
+// the sum and count of all observations.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.add(v)
+	h.n.Add(1)
+}
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Merge adds other's observations into h. The bucket layouts must be
+// identical.
+func (h *Histogram) Merge(other *Histogram) error {
+	if !equalBounds(h.bounds, other.bounds) {
+		return fmt.Errorf("obs: merging histograms with different bucket bounds")
+	}
+	for i := range other.counts {
+		h.counts[i].Add(other.counts[i].Load())
+	}
+	h.sum.add(other.sum.load())
+	h.n.Add(other.n.Load())
+	return nil
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lint:allow floatcompare bucket bounds are configuration constants; layouts must match bit-for-bit to be mergeable
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LogBuckets returns perDecade log-spaced bucket upper bounds from min up to
+// and including the first bound >= max. It is the bucket generator for
+// latency-style long-tailed series.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		return []float64{min, max}
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for v := min; ; v *= ratio {
+		out = append(out, v)
+		if v >= max {
+			break
+		}
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 1 ms to 10 s at 5 buckets per decade — the
+// range serverless inference latencies and SLOs live in.
+func DefaultLatencyBuckets() []float64 { return LogBuckets(0.001, 10, 5) }
+
+// series is one registered metric.
+type series struct {
+	name string
+	help string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named set of metric series. The zero value is not usable;
+// create with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*series)}
+}
+
+// lookup returns the existing series of the given name and kind, erroring on
+// a kind collision, or (nil, nil) when the name is free.
+func (r *Registry) lookup(name string, kind Kind) (*series, error) {
+	s, ok := r.byName[name]
+	if !ok {
+		return nil, nil
+	}
+	if s.kind != kind {
+		return nil, fmt.Errorf("obs: series %q already registered as %s, requested %s", name, s.kind, kind)
+	}
+	return s, nil
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// It errors — it never panics — when the name is already registered as a
+// different kind. The help string of the first registration wins.
+func (r *Registry) Counter(name, help string) (*Counter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, err := r.lookup(name, KindCounter)
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		s = &series{name: name, help: help, kind: KindCounter, c: &Counter{}}
+		r.byName[name] = s
+	}
+	return s.c, nil
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Kind collisions error, never panic.
+func (r *Registry) Gauge(name, help string) (*Gauge, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, err := r.lookup(name, KindGauge)
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		s = &series{name: name, help: help, kind: KindGauge, g: &Gauge{}}
+		r.byName[name] = s
+	}
+	return s.g, nil
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket bounds on first use. Re-registration with a different kind or
+// a different bucket layout errors, never panics.
+func (r *Registry) Histogram(name, help string, bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram %q needs at least one bucket bound", name)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram %q bucket bounds must be strictly ascending", name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, err := r.lookup(name, KindHistogram)
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		b := append([]float64(nil), bounds...)
+		h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		s = &series{name: name, help: help, kind: KindHistogram, h: h}
+		r.byName[name] = s
+		return h, nil
+	}
+	if !equalBounds(s.h.bounds, bounds) {
+		return nil, fmt.Errorf("obs: histogram %q already registered with different bucket bounds", name)
+	}
+	return s.h, nil
+}
+
+// MustCounter is Counter but panics on error. For cmd/, examples, and tests
+// only — library code must propagate the registration error (enforced by the
+// obs-register lint rule).
+func (r *Registry) MustCounter(name, help string) *Counter {
+	c, err := r.Counter(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustGauge is Gauge but panics on error. Same scope rule as MustCounter.
+func (r *Registry) MustGauge(name, help string) *Gauge {
+	g, err := r.Gauge(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustHistogram is Histogram but panics on error. Same scope rule as
+// MustCounter.
+func (r *Registry) MustHistogram(name, help string, bounds []float64) *Histogram {
+	h, err := r.Histogram(name, help, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// sortedSeries returns the registered series sorted by name.
+func (r *Registry) sortedSeries() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.byName))
+	for _, s := range r.byName {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("reqs_total", "requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g, err := r.Gauge("depth", "queue depth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Counter("x_total", "first help wins")
+	b, err := r.Counter("x_total", "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters diverged")
+	}
+}
+
+func TestDuplicateRegistrationErrorsNotPanics(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("dup", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Gauge("dup", ""); err == nil {
+		t.Fatal("counter re-registered as gauge did not error")
+	}
+	if _, err := r.Histogram("dup", "", []float64{1}); err == nil {
+		t.Fatal("counter re-registered as histogram did not error")
+	}
+	if _, err := r.Histogram("h", "", []float64{0.1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Histogram("h", "", []float64{0.2, 1}); err == nil {
+		t.Fatal("histogram re-registered with different bounds did not error")
+	}
+	if _, err := r.Histogram("h", "", []float64{0.1, 1}); err != nil {
+		t.Fatalf("identical histogram re-registration errored: %v", err)
+	}
+	if _, err := r.Histogram("bad", "", nil); err == nil {
+		t.Fatal("empty bucket list accepted")
+	}
+	if _, err := r.Histogram("bad", "", []float64{2, 1}); err == nil {
+		t.Fatal("descending bucket list accepted")
+	}
+}
+
+func TestMustVariantsPanicOnMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("ok", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGauge on a counter name did not panic")
+		}
+	}()
+	r.MustGauge("ok", "")
+}
+
+func TestHistogramObserveAndMerge(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("lat", "", []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	// Buckets (non-cumulative): <=0.01 -> 2 (0.005 and the boundary 0.01),
+	// <=0.1 -> 1, <=1 -> 1, +Inf -> 1.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+
+	other := NewRegistry()
+	h2, _ := other.Histogram("lat", "", []float64{0.01, 0.1, 1})
+	h2.Observe(0.2)
+	if err := h.Merge(h2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 6 || h.counts[2].Load() != 2 {
+		t.Fatal("merge did not add observations")
+	}
+	h3, _ := other.Histogram("lat2", "", []float64{0.5})
+	if err := h.Merge(h3); err == nil {
+		t.Fatal("merging different bucket layouts did not error")
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 5)
+	if b[0] != 0.001 {
+		t.Fatalf("first bound = %v", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound %v does not cover max", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+	if len(DefaultLatencyBuckets()) != len(b) {
+		t.Fatal("DefaultLatencyBuckets changed unexpectedly")
+	}
+}
+
+func TestRecorderEventsAndSpans(t *testing.T) {
+	clk := &ManualClock{}
+	rec := NewRecorder(clk, 8)
+	clk.Set(1.5)
+	rec.Event("arrive", I("id", 1))
+	sp := rec.StartSpan("work", S("kind", "batch"))
+	clk.Advance(0.25)
+	sp.End()
+	rec.EventAt(9, "explicit")
+
+	ev := rec.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Time != 1.5 || ev[0].Name != "arrive" || ev[0].Attrs[0].Value != "1" {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].DurS != 0.25 || ev[1].Time != 1.5 {
+		t.Fatalf("span event = %+v", ev[1])
+	}
+	if ev[2].Time != 9 {
+		t.Fatalf("explicit event = %+v", ev[2])
+	}
+}
+
+func TestRecorderDropsAtCapacity(t *testing.T) {
+	rec := NewRecorder(nil, 2)
+	for i := 0; i < 5; i++ {
+		rec.EventAt(float64(i), "e")
+	}
+	if len(rec.Events()) != 2 || rec.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(rec.Events()), rec.Dropped())
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 || rec.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCountByName(t *testing.T) {
+	rec := NewRecorder(nil, 0)
+	rec.EventAt(0, "b")
+	rec.EventAt(1, "a")
+	rec.EventAt(2, "b")
+	got := rec.CountByName()
+	if len(got) != 2 || got[0].Name != "a" || got[0].Count != 1 || got[1].Count != 2 {
+		t.Fatalf("counts = %+v", got)
+	}
+}
+
+// fillRegistry populates a registry with one series of each kind.
+func fillRegistry(t *testing.T, r *Registry) {
+	t.Helper()
+	c, err := r.Counter("z_total", "a counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(3)
+	g, err := r.Gauge("a_gauge", "a gauge\nwith newline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(-1.25)
+	h, err := r.Histogram("m_hist", "a histogram", []float64{0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(t, r)
+	snap := r.Snapshot()
+	if len(snap.Series) != 3 {
+		t.Fatalf("series = %d", len(snap.Series))
+	}
+	names := []string{snap.Series[0].Name, snap.Series[1].Name, snap.Series[2].Name}
+	if names[0] != "a_gauge" || names[1] != "m_hist" || names[2] != "z_total" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	hist := snap.Series[1]
+	if hist.Count != 3 || len(hist.Buckets) != 3 {
+		t.Fatalf("histogram snapshot = %+v", hist)
+	}
+	// Buckets are cumulative; the last is +Inf and equals the count.
+	if hist.Buckets[2].UpperBound != "+Inf" || hist.Buckets[2].Count != 3 {
+		t.Fatalf("+Inf bucket = %+v", hist.Buckets[2])
+	}
+	if hist.Buckets[0].Count != 1 || hist.Buckets[1].Count != 2 {
+		t.Fatalf("cumulative buckets = %+v", hist.Buckets)
+	}
+}
+
+func TestJSONSnapshotByteIdenticalAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		r := NewRegistry()
+		fillRegistry(t, r)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(t, r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP a_gauge a gauge\\nwith newline\n",
+		"# TYPE a_gauge gauge\na_gauge -1.25\n",
+		"# TYPE m_hist histogram\n",
+		"m_hist_bucket{le=\"0.1\"} 1\n",
+		"m_hist_bucket{le=\"1\"} 2\n",
+		"m_hist_bucket{le=\"+Inf\"} 3\n",
+		"m_hist_sum 2.55\n",
+		"m_hist_count 3\n",
+		"# TYPE z_total counter\nz_total 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Series order follows name order.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "z_total") {
+		t.Fatal("series not sorted by name")
+	}
+}
+
+func TestWriteEventsJSONDeterministic(t *testing.T) {
+	render := func() []byte {
+		rec := NewRecorder(nil, 0)
+		rec.EventAt(0.5, "dispatch", I("size", 4), S("cause", "size"))
+		rec.SpanAt(0.5, "exec").EndAt(0.75)
+		var buf bytes.Buffer
+		if err := rec.WriteEventsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("event streams differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"dur_s": 0.25`) {
+		t.Fatalf("span duration missing:\n%s", a)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives one Registry from many goroutines —
+// counter adds, gauge sets, histogram observes, get-or-create registration,
+// and concurrent snapshots/expositions — as a race-detector target
+// (`make race` includes internal/obs). The final totals are also checked:
+// lock-free CAS updates must not lose increments.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	rec := NewRecorder(&ManualClock{}, 1<<15)
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Re-registration from every goroutine exercises the
+				// get-or-create path under contention.
+				c, err := r.Counter("hammer_total", "")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c.Inc()
+				gauge, err := r.Gauge("hammer_gauge", "")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gauge.Set(float64(i))
+				h, err := r.Histogram("hammer_hist", "", []float64{0.25, 0.5, 0.75})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h.Observe(float64(i%100) / 100)
+				rec.Event("tick", I("g", g))
+			}
+		}(g)
+	}
+	// Snapshot concurrently with the writers.
+	var snapWG sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 50; i++ {
+				_ = r.Snapshot()
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if err := rec.WriteEventsJSON(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+
+	const total = goroutines * perG
+	c, _ := r.Counter("hammer_total", "")
+	if got := c.Value(); got != total {
+		t.Fatalf("counter lost updates: %v, want %d", got, total)
+	}
+	h, _ := r.Histogram("hammer_hist", "", []float64{0.25, 0.5, 0.75})
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram lost observes: %d, want %d", got, total)
+	}
+	if got := len(rec.Events()); got != total {
+		t.Fatalf("recorder lost events: %d, want %d", got, total)
+	}
+}

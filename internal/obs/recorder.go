@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Attr is one key/value annotation on an event. Values are pre-rendered
+// strings so the event stream serializes identically on every run; use the
+// F/I/S helpers for canonical formatting.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// F formats a float attribute canonically (shortest round-trip form).
+func F(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// I formats an integer attribute.
+func I(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// S wraps a string attribute.
+func S(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// B formats a bool attribute.
+func B(key string, v bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(v)} }
+
+// Event is one recorded occurrence. DurS is non-zero only for span-end
+// events.
+type Event struct {
+	Time  float64 `json:"t"`
+	Name  string  `json:"name"`
+	DurS  float64 `json:"dur_s,omitempty"`
+	Attrs []Attr  `json:"attrs,omitempty"`
+}
+
+// Recorder accumulates a bounded structured event stream on an injected
+// clock. Events beyond the capacity are counted as dropped rather than
+// grown without bound; the stream stays in record order. Safe for
+// concurrent use — though deterministic output naturally requires the
+// recording order itself to be deterministic, as it is in simulation code.
+type Recorder struct {
+	mu      sync.Mutex
+	clock   Clock
+	max     int
+	events  []Event
+	dropped uint64
+}
+
+// DefaultRecorderCap bounds a Recorder when NewRecorder is given max <= 0.
+const DefaultRecorderCap = 4096
+
+// NewRecorder returns a recorder on the given clock, keeping at most max
+// events (<= 0 means DefaultRecorderCap). A nil clock installs a ManualClock
+// pinned at 0 — the right default for simulation code, which stamps every
+// event explicitly with EventAt.
+func NewRecorder(clock Clock, max int) *Recorder {
+	if clock == nil {
+		clock = &ManualClock{}
+	}
+	if max <= 0 {
+		max = DefaultRecorderCap
+	}
+	return &Recorder{clock: clock, max: max}
+}
+
+// Event records an event stamped with the recorder's clock.
+func (r *Recorder) Event(name string, attrs ...Attr) {
+	r.record(Event{Time: r.clock.Now(), Name: name, Attrs: attrs})
+}
+
+// EventAt records an event with an explicit timestamp — the entry point for
+// simulated time, where the caller owns the clock.
+func (r *Recorder) EventAt(t float64, name string, attrs ...Attr) {
+	r.record(Event{Time: t, Name: name, Attrs: attrs})
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	if len(r.events) >= r.max {
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+}
+
+// ActiveSpan is an in-flight span started by StartSpan.
+type ActiveSpan struct {
+	r     *Recorder
+	name  string
+	start float64
+	attrs []Attr
+}
+
+// StartSpan opens a span at the clock's current time. End records it as a
+// single event stamped with the start time and the measured duration.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) *ActiveSpan {
+	return &ActiveSpan{r: r, name: name, start: r.clock.Now(), attrs: attrs}
+}
+
+// SpanAt opens a span at an explicit start time (simulated-time variant).
+func (r *Recorder) SpanAt(t float64, name string, attrs ...Attr) *ActiveSpan {
+	return &ActiveSpan{r: r, name: name, start: t, attrs: attrs}
+}
+
+// End closes the span at the clock's current time.
+func (s *ActiveSpan) End() {
+	s.EndAt(s.r.clock.Now())
+}
+
+// EndAt closes the span at an explicit end time.
+func (s *ActiveSpan) EndAt(t float64) {
+	s.r.record(Event{Time: s.start, Name: s.name, DurS: t - s.start, Attrs: s.attrs})
+}
+
+// Events returns a copy of the recorded stream in record order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Dropped reports how many events were discarded at the capacity bound.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset clears the stream and the drop counter.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.dropped = 0
+	r.mu.Unlock()
+}
+
+// CountByName returns event counts grouped by name, sorted by name — the
+// summary experiment reports print.
+func (r *Recorder) CountByName() []NameCount {
+	r.mu.Lock()
+	counts := make(map[string]int)
+	for _, e := range r.events {
+		counts[e.Name]++
+	}
+	r.mu.Unlock()
+	out := make([]NameCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, NameCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NameCount is one (event name, occurrence count) pair.
+type NameCount struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}

@@ -128,16 +128,22 @@ func (a *Adam) SetLR(lr float64) { a.lr = lr }
 // LR implements Optimizer.
 func (a *Adam) LR() float64 { return a.lr }
 
-// ClipGradNorm rescales the gradients of params so their global L2 norm does
-// not exceed maxNorm. It returns the pre-clipping norm.
-func ClipGradNorm(params []*tensor.Tensor, maxNorm float64) float64 {
+// GradNorm returns the global L2 norm of the gradients of params without
+// modifying them.
+func GradNorm(params []*tensor.Tensor) float64 {
 	total := 0.0
 	for _, p := range params {
 		for _, g := range p.Grad {
 			total += g * g
 		}
 	}
-	norm := math.Sqrt(total)
+	return math.Sqrt(total)
+}
+
+// ClipGradNorm rescales the gradients of params so their global L2 norm does
+// not exceed maxNorm. It returns the pre-clipping norm.
+func ClipGradNorm(params []*tensor.Tensor, maxNorm float64) float64 {
+	norm := GradNorm(params)
 	if norm > maxNorm && norm > 0 {
 		scale := maxNorm / norm
 		for _, p := range params {

@@ -1,0 +1,63 @@
+package optimizer
+
+import "deepbat/internal/obs"
+
+// decideMetrics holds the series Decide maintains when Optimizer.Obs is set.
+type decideMetrics struct {
+	decisions  *obs.Counter
+	evaluated  *obs.Counter
+	rejected   *obs.Counter
+	infeasible *obs.Counter
+}
+
+func newDecideMetrics(reg *obs.Registry) (*decideMetrics, error) {
+	if reg == nil {
+		return nil, nil
+	}
+	m := &decideMetrics{}
+	var err error
+	counter := func(dst **obs.Counter, name, help string) {
+		if err == nil {
+			*dst, err = reg.Counter(name, help)
+		}
+	}
+	counter(&m.decisions, "optimizer_decisions_total", "grid searches completed")
+	counter(&m.evaluated, "optimizer_candidates_evaluated_total", "candidate configurations scored")
+	counter(&m.rejected, "optimizer_candidates_rejected_total", "candidates whose predicted tail missed the effective SLO")
+	counter(&m.infeasible, "optimizer_infeasible_total", "decisions that fell back to the lowest-tail configuration")
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// observeDecision records one completed grid search.
+func (m *decideMetrics) observeDecision(d Decision, rejected int) {
+	if m == nil {
+		return
+	}
+	m.decisions.Inc()
+	m.evaluated.Add(float64(d.Evaluated))
+	m.rejected.Add(float64(rejected))
+	if !d.Feasible {
+		m.infeasible.Inc()
+	}
+}
+
+// recordDecision appends a "decide" event describing the chosen
+// configuration. The recorder's clock supplies the timestamp, so a
+// ManualClock keeps replays deterministic.
+func recordDecision(rec *obs.Recorder, d Decision, tail float64, rejected int) {
+	if rec == nil {
+		return
+	}
+	rec.Event("decide",
+		obs.S("config", d.Config.String()),
+		obs.F("cost_usd", d.Prediction.CostPerRequest),
+		obs.F("tail_s", tail),
+		obs.F("effective_slo_s", d.EffectiveSLO),
+		obs.I("evaluated", d.Evaluated),
+		obs.I("rejected", rejected),
+		obs.B("feasible", d.Feasible),
+	)
+}

@@ -1,0 +1,86 @@
+package optimizer
+
+import (
+	"testing"
+
+	"deepbat/internal/obs"
+)
+
+// TestDecideObsCountersAndEvents checks that each grid search lands in the
+// registry and event stream with consistent evaluated/rejected accounting.
+func TestDecideObsCountersAndEvents(t *testing.T) {
+	grid := testGrid()
+	m := trainedModel(t, grid)
+	o := New(m, grid, 0.1)
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(nil, 0)
+	o.Obs = reg
+	o.Recorder = rec
+
+	const decisions = 3
+	var feasible, evaluated int
+	for i := 0; i < decisions; i++ {
+		d, err := o.Decide(window())
+		if err != nil {
+			t.Fatal(err)
+		}
+		evaluated += d.Evaluated
+		if d.Feasible {
+			feasible++
+		}
+	}
+
+	counter := func(name string) float64 {
+		t.Helper()
+		c, err := reg.Counter(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Value()
+	}
+	if got := counter("optimizer_decisions_total"); got != decisions {
+		t.Fatalf("decisions counter = %v, want %d", got, decisions)
+	}
+	if got := counter("optimizer_candidates_evaluated_total"); got != float64(evaluated) {
+		t.Fatalf("evaluated counter = %v, want %d", got, evaluated)
+	}
+	if got := counter("optimizer_candidates_rejected_total"); got >= float64(evaluated) {
+		t.Fatalf("rejected counter = %v, want < evaluated %d", got, evaluated)
+	}
+	if got := counter("optimizer_infeasible_total"); got != float64(decisions-feasible) {
+		t.Fatalf("infeasible counter = %v, want %d", got, decisions-feasible)
+	}
+
+	ev := rec.Events()
+	if len(ev) != decisions {
+		t.Fatalf("events = %d, want %d", len(ev), decisions)
+	}
+	attrs := map[string]string{}
+	for _, a := range ev[0].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	for _, key := range []string{"config", "cost_usd", "tail_s", "evaluated", "rejected", "feasible"} {
+		if _, ok := attrs[key]; !ok {
+			t.Fatalf("decide event missing attr %q: %+v", key, ev[0])
+		}
+	}
+
+	// An impossible SLO drives the infeasible-fallback counter.
+	o.SLO = 1e-9
+	if _, err := o.Decide(window()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("optimizer_infeasible_total"); got != float64(decisions-feasible)+1 {
+		t.Fatalf("infeasible counter after impossible SLO = %v", got)
+	}
+
+	// Colliding registry errors instead of panicking.
+	bad := obs.NewRegistry()
+	if _, err := bad.Gauge("optimizer_decisions_total", ""); err != nil {
+		t.Fatal(err)
+	}
+	o.Obs = bad
+	if _, err := o.Decide(window()); err == nil {
+		t.Fatal("Decide accepted a registry with a colliding metric name")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
 	"deepbat/internal/stats"
 	"deepbat/internal/surrogate"
 )
@@ -30,6 +31,11 @@ type Optimizer struct {
 	Pct float64
 	// Gamma tightens the effective SLO to SLO*(1-Gamma); 0 disables it.
 	Gamma float64
+	// Obs, when non-nil, accumulates per-Decide counters: decisions, grid
+	// candidates evaluated and rejected, and infeasible fallbacks.
+	Obs *obs.Registry
+	// Recorder, when non-nil, receives one "decide" event per grid search.
+	Recorder *obs.Recorder
 }
 
 // New returns an optimizer with the paper's defaults (95th percentile).
@@ -64,10 +70,15 @@ func (o *Optimizer) Decide(window []float64) (Decision, error) {
 	if _, ok := pctIndex(o.Model.Cfg, o.Pct); !ok {
 		return Decision{}, fmt.Errorf("optimizer: model does not predict P%g", o.Pct)
 	}
+	met, err := newDecideMetrics(o.Obs)
+	if err != nil {
+		return Decision{}, err
+	}
 	eff := o.SLO * (1 - clamp01(o.Gamma))
 	preds := o.Model.PredictGrid(window, cfgs)
 	best := -1
 	fallback := 0
+	rejected := 0
 	bestTail := math.Inf(1)
 	for i, p := range preds {
 		tail, _ := p.Percentile(o.Model.Cfg, o.Pct)
@@ -75,6 +86,7 @@ func (o *Optimizer) Decide(window []float64) (Decision, error) {
 			bestTail, fallback = tail, i
 		}
 		if tail > eff {
+			rejected++
 			continue
 		}
 		if best < 0 || p.CostPerRequest < preds[best].CostPerRequest {
@@ -87,6 +99,9 @@ func (o *Optimizer) Decide(window []float64) (Decision, error) {
 	}
 	d.Config = cfgs[best]
 	d.Prediction = preds[best]
+	chosenTail, _ := d.Prediction.Percentile(o.Model.Cfg, o.Pct)
+	met.observeDecision(d, rejected)
+	recordDecision(o.Recorder, d, chosenTail, rejected)
 	return d, nil
 }
 

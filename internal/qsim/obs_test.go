@@ -1,0 +1,153 @@
+package qsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"deepbat/internal/arrival"
+	"deepbat/internal/obs"
+)
+
+// obsArrivals generates one seeded Poisson trace for the instrumentation
+// tests.
+func obsArrivals(t *testing.T, seed int64, n int) []float64 {
+	t.Helper()
+	g, err := arrival.NewGen(arrival.Poisson(100), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Timestamps(g.Sample(n))
+}
+
+// TestRunObsCountersMatchResult cross-checks every series against the
+// returned Result: instrumentation must mirror the simulation, not sample it.
+func TestRunObsCountersMatchResult(t *testing.T) {
+	arrivals := obsArrivals(t, 3, 400)
+	s := sim()
+	s.Opts.EnableColdStarts = true
+	s.Opts.KeepAlive = 0.05
+	s.Opts.MaxConcurrency = 2
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(nil, 0)
+	s.Opts.Obs = reg
+	s.Opts.Recorder = rec
+	res, err := s.Run(arrivals, cfg(1024, 4, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counter := func(name string) float64 {
+		t.Helper()
+		c, err := reg.Counter(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Value()
+	}
+	if got := counter("qsim_requests_total"); got != float64(len(res.Latencies)) {
+		t.Fatalf("requests counter = %v, want %d", got, len(res.Latencies))
+	}
+	if got := counter("qsim_batches_total"); got != float64(len(res.Batches)) {
+		t.Fatalf("batches counter = %v, want %d", got, len(res.Batches))
+	}
+	if counter("qsim_dispatch_size_total")+counter("qsim_dispatch_timeout_total") != float64(len(res.Batches)) {
+		t.Fatal("dispatch-cause counters do not partition the batches")
+	}
+	if counter("qsim_dispatch_size_total") == 0 || counter("qsim_dispatch_timeout_total") == 0 {
+		t.Fatal("trace did not exercise both dispatch causes")
+	}
+	var colds, queued int
+	for _, b := range res.Batches {
+		if b.Cold {
+			colds++
+		}
+		if b.StartAt > b.DispatchAt {
+			queued++
+		}
+	}
+	if colds == 0 || queued == 0 {
+		t.Fatalf("trace did not exercise cold starts (%d) or queueing (%d)", colds, queued)
+	}
+	if got := counter("qsim_cold_starts_total"); got != float64(colds) {
+		t.Fatalf("cold-start counter = %v, want %d", got, colds)
+	}
+	if got := counter("qsim_queued_batches_total"); got != float64(queued) {
+		t.Fatalf("queued counter = %v, want %d", got, queued)
+	}
+	if got := counter("qsim_cost_usd_total"); got != res.TotalCost {
+		t.Fatalf("cost counter = %v, want %v", got, res.TotalCost)
+	}
+	h, err := reg.Histogram("qsim_latency_seconds", "", obs.DefaultLatencyBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != uint64(len(res.Latencies)) {
+		t.Fatalf("latency observations = %d, want %d", h.Count(), len(res.Latencies))
+	}
+
+	// Event stream: one dispatch per batch plus one cold_start per cold batch.
+	byName := map[string]int{}
+	for _, nc := range rec.CountByName() {
+		byName[nc.Name] = nc.Count
+	}
+	if byName["dispatch"] != len(res.Batches) || byName["cold_start"] != colds {
+		t.Fatalf("event counts = %v, want dispatch=%d cold_start=%d", byName, len(res.Batches), colds)
+	}
+	ev := rec.Events()
+	if ev[0].Time != res.Batches[0].DispatchAt {
+		t.Fatalf("first event at %v, want %v", ev[0].Time, res.Batches[0].DispatchAt)
+	}
+}
+
+// TestRunObsSnapshotsByteIdentical is the PR's acceptance criterion: two
+// same-seed simulator runs must render byte-identical JSON metric snapshots
+// and event streams.
+func TestRunObsSnapshotsByteIdentical(t *testing.T) {
+	render := func() ([]byte, []byte) {
+		arrivals := obsArrivals(t, 11, 500)
+		s := sim()
+		s.Opts.EnableColdStarts = true
+		s.Opts.KeepAlive = 0.1
+		reg := obs.NewRegistry()
+		rec := obs.NewRecorder(nil, 0)
+		s.Opts.Obs = reg
+		s.Opts.Recorder = rec
+		if _, err := s.Run(arrivals, cfg(2048, 8, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+		var metrics, events bytes.Buffer
+		if err := reg.WriteJSON(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteEventsJSON(&events); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Bytes(), events.Bytes()
+	}
+	m1, e1 := render()
+	m2, e2 := render()
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("metric snapshots differ across same-seed runs:\n%s\n---\n%s", m1, m2)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("event streams differ across same-seed runs:\n%s\n---\n%s", e1, e2)
+	}
+	if len(e1) == 0 || !bytes.Contains(e1, []byte(`"dispatch"`)) {
+		t.Fatalf("event stream missing dispatches:\n%s", e1)
+	}
+}
+
+// TestRunObsRegistryCollision: a colliding injected registry fails the run
+// with an error, never a panic.
+func TestRunObsRegistryCollision(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := reg.Gauge("qsim_requests_total", "wrong kind"); err != nil {
+		t.Fatal(err)
+	}
+	s := sim()
+	s.Opts.Obs = reg
+	if _, err := s.Run([]float64{0.1, 0.2}, cfg(1024, 4, 0.1)); err == nil {
+		t.Fatal("Run accepted a registry with a colliding metric name")
+	}
+}

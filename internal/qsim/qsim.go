@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
 	"deepbat/internal/stats"
 )
 
@@ -28,6 +29,14 @@ type Options struct {
 	// queue for a free slot. 0 means unlimited (pure autoscaling, the
 	// paper's assumption).
 	MaxConcurrency int
+	// Obs, when non-nil, accumulates per-run counters and histograms
+	// (requests, dispatch causes, cold starts, latency, cost). Every value
+	// derives from the trace and simulated time, so snapshots are
+	// byte-identical across same-seed runs.
+	Obs *obs.Registry
+	// Recorder, when non-nil, receives one "dispatch" event per invocation
+	// (plus "cold_start" events), stamped with simulated time.
+	Recorder *obs.Recorder
 }
 
 // Simulator evaluates configurations against arrival traces.
@@ -119,6 +128,10 @@ func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) 
 		PerRequestCost: make([]float64, n),
 		DispatchTimes:  make([]float64, n),
 	}
+	met, err := newRunMetrics(s.Opts.Obs)
+	if err != nil {
+		return nil, err
+	}
 	// Warm-container pool: times at which containers become idle.
 	var warm []float64
 	// Concurrency slots: execution end times of in-flight invocations, kept
@@ -160,9 +173,10 @@ func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) 
 			slots.occupy(start + svc)
 		}
 		cost := s.Pricing.InvocationCost(cfg.MemoryMB, svc)
-		res.Batches = append(res.Batches, Batch{
+		batch := Batch{
 			DispatchAt: dispatch, StartAt: start, Size: size, Service: svc, Cost: cost, Cold: cold,
-		})
+		}
+		res.Batches = append(res.Batches, batch)
 		res.TotalCost += cost
 		perReq := cost / float64(size)
 		for k := i; k < j; k++ {
@@ -170,6 +184,12 @@ func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) 
 			res.PerRequestCost[k] = perReq
 			res.DispatchTimes[k] = dispatch
 		}
+		cause := dispatchCauseTimeout
+		if size == cfg.BatchSize {
+			cause = dispatchCauseSize
+		}
+		met.observeBatch(batch, cause, res.Latencies[i:j])
+		recordDispatch(s.Opts.Recorder, batch, cause)
 		if s.Opts.EnableColdStarts {
 			warm = append(warm, start+svc)
 		}

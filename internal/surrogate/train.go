@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"deepbat/internal/loss"
+	"deepbat/internal/obs"
 	"deepbat/internal/opt"
 	"deepbat/internal/stats"
 	"deepbat/internal/tensor"
@@ -34,6 +35,11 @@ type TrainConfig struct {
 	Workers int
 	// Quiet suppresses the per-epoch Progress callback.
 	Progress func(epoch int, trainLoss, valLoss float64)
+	// Obs, when non-nil, receives training telemetry: per-epoch loss and
+	// validation-loss gauges, a per-batch pre-clip gradient-norm histogram,
+	// and worker-count/utilization gauges. Instrumentation only reads
+	// training state, so results are bit-identical with Obs nil or set.
+	Obs *obs.Registry
 }
 
 // DefaultTrainConfig returns the paper's training settings (with fewer
@@ -145,6 +151,10 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := m.Params()
 	optim := opt.NewAdam(params, cfg.LR)
+	met, err := newTrainMetrics(cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
 	hist := &History{}
 	order := make([]int, train.Len())
 	for i := range order {
@@ -171,6 +181,7 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		var batches int
+		var usedSlots, capSlots float64
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(order) {
@@ -195,6 +206,11 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 			bw := workers
 			if bw > bs {
 				bw = bs
+			}
+			if met != nil {
+				shard := (bs + bw - 1) / bw
+				usedSlots += float64(bs)
+				capSlots += float64(bw * shard)
 			}
 			if bw <= 1 {
 				runShard(0, 0, bs)
@@ -227,7 +243,9 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 				batchLoss += losses[p]
 			}
 			if cfg.ClipNorm > 0 {
-				opt.ClipGradNorm(params, cfg.ClipNorm)
+				met.observeBatch(params, opt.ClipGradNorm(params, cfg.ClipNorm), true)
+			} else {
+				met.observeBatch(params, 0, false)
 			}
 			optim.Step()
 			epochLoss += batchLoss
@@ -240,6 +258,7 @@ func (m *Model) Train(train, val *Dataset, cfg TrainConfig) (*History, error) {
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
 		hist.ValLoss = append(hist.ValLoss, valLoss)
+		met.observeEpoch(len(order), epochLoss, valLoss, workers, usedSlots, capSlots)
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, epochLoss, valLoss)
 		}
