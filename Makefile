@@ -4,11 +4,13 @@
 GO ?= go
 
 # RACE_PKGS covers the packages that exercise the concurrent code paths:
-# the parallel matmul kernels, data-parallel training / no-grad parallel
-# evaluation, the analytical baseline used by the same experiments, the
-# gateway (which spawns batching/control goroutines under test), and the
-# observability registry/recorder hammered from many goroutines.
-RACE_PKGS = ./internal/tensor/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/obs/...
+# the parallel matmul kernels and the shared blocked/packed gemm kernels they
+# drive from row-sharded workers, data-parallel training / no-grad parallel
+# evaluation (including the batched grid-sweep fan-out), the analytical
+# baseline used by the same experiments, the gateway (which spawns
+# batching/control goroutines under test), and the observability
+# registry/recorder hammered from many goroutines.
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/obs/...
 
 .PHONY: verify fmtcheck lint test race bench fuzz
 
@@ -36,9 +38,10 @@ test: verify
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-## bench: regenerate the benchmark regression snapshot (BENCH_2.json).
+## bench: regenerate the benchmark regression snapshot (BENCH_3.json),
+## including speedup/alloc ratios against the previous snapshot.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
 
 ## fuzz: a short native-fuzzing pass over the discrete-event simulator's
 ## batching invariants (qsim.FuzzRun), sized for CI (~20s).

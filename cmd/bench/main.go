@@ -4,14 +4,18 @@
 // root by convention — giving successive PRs a perf trajectory to compare
 // against.
 //
-//	go run ./cmd/bench -out BENCH_1.json
+//	go run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
 //
 // The set covers the surrogate hot paths this project optimizes: the matmul
-// kernel, one encoder train step, a full train epoch serial vs parallel
-// (data-parallel minibatch sharding) vs serial-with-observability, the
-// encode-once grid sweep, and a full DeepBAT decision. The snapshot also
-// records the relative overhead of instrumented training
-// (train_obs_overhead_pct), which the observability PR holds under 5%.
+// kernel across a size sweep (64/128/256/512, spanning both sides of the
+// blocked-dispatch threshold), one encoder train step, a full train epoch
+// serial vs parallel (data-parallel minibatch sharding) vs
+// serial-with-observability, the encode-once batched grid sweep, and a full
+// DeepBAT decision. The snapshot also records the relative overhead of
+// instrumented training (train_obs_overhead_pct), which the observability PR
+// held under 5% (single-run samples jitter a few percent either way), and —
+// when -baseline names an earlier snapshot — per-name
+// speedup and allocation ratios against it.
 package main
 
 import (
@@ -48,6 +52,48 @@ type Snapshot struct {
 	// over TrainEpochSerial, in percent (may be slightly negative from run
 	// noise).
 	TrainObsOverheadPct float64 `json:"train_obs_overhead_pct"`
+	// Baseline is the earlier snapshot the ratio maps compare against.
+	Baseline string `json:"baseline,omitempty"`
+	// SpeedupVsBaseline maps benchmark name to baselineNs/currentNs (>1 means
+	// this snapshot is faster) for names present in both snapshots.
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	// AllocImprovementVsBaseline maps benchmark name to
+	// baselineAllocs/currentAllocs (>1 means fewer allocations now).
+	AllocImprovementVsBaseline map[string]float64 `json:"alloc_improvement_vs_baseline,omitempty"`
+}
+
+// compareBaseline fills the ratio maps from an earlier snapshot on disk. A
+// missing or unreadable baseline is not an error — first runs have none.
+func (s *Snapshot) compareBaseline(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline at %s; skipping ratios\n", path)
+		return
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: baseline %s: %v\n", path, err)
+		return
+	}
+	byName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	s.Baseline = path
+	s.SpeedupVsBaseline = map[string]float64{}
+	s.AllocImprovementVsBaseline = map[string]float64{}
+	for _, r := range s.Results {
+		b, ok := byName[r.Name]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		s.SpeedupVsBaseline[r.Name] = b.NsPerOp / r.NsPerOp
+		if r.AllocsPerOp > 0 {
+			s.AllocImprovementVsBaseline[r.Name] = float64(b.AllocsPerOp) / float64(r.AllocsPerOp)
+		}
+		fmt.Printf("%-24s %6.2fx faster, %6.2fx fewer allocs vs %s\n",
+			r.Name, s.SpeedupVsBaseline[r.Name], s.AllocImprovementVsBaseline[r.Name], path)
+	}
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -116,20 +162,26 @@ func trainEpoch(b *testing.B, workers int, instrumented bool) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	baseline := flag.String("baseline", "BENCH_2.json", "earlier snapshot to compute speedup ratios against (missing file = no ratios)")
 	flag.Parse()
 
 	snap := Snapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	snap.Results = append(snap.Results, measure("TensorMatMul256", func(b *testing.B) {
-		rng := rand.New(rand.NewSource(1))
-		x := tensor.Randn(rng, 1, 256, 256)
-		y := tensor.Randn(rng, 1, 256, 256)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			tensor.MatMul(x, y)
-		}
-	}))
+	// The size sweep spans both sides of the gemm blocked-dispatch threshold:
+	// 64 runs the naive kernel, 128+ the packed/blocked one.
+	for _, n := range []int{64, 128, 256, 512} {
+		n := n
+		snap.Results = append(snap.Results, measure(fmt.Sprintf("TensorMatMul%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := tensor.Randn(rng, 1, n, n)
+			y := tensor.Randn(rng, 1, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, y)
+			}
+		}))
+	}
 
 	snap.Results = append(snap.Results, measure("EncoderTrainStep", func(b *testing.B) {
 		rng := rand.New(rand.NewSource(3))
@@ -166,7 +218,18 @@ func main() {
 	window := inter[:sys.Model.Cfg.SeqLen]
 	cfgs := deepbat.DefaultGrid().Configs()
 
+	// GridPredict keeps its BENCH_1/2 name for the perf trajectory; since
+	// this PR, PredictGrid *is* the batched path, so GridPredictBatched and
+	// DecideBatched measure the same entry points in separate runs (two
+	// independent measurements, not copied numbers).
 	snap.Results = append(snap.Results, measure("GridPredict", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Model.PredictGrid(window, cfgs)
+		}
+	}))
+
+	snap.Results = append(snap.Results, measure("GridPredictBatched", func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sys.Model.PredictGrid(window, cfgs)
@@ -181,6 +244,17 @@ func main() {
 			}
 		}
 	}))
+
+	snap.Results = append(snap.Results, measure("DecideBatched", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Decide(window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	snap.compareBaseline(*baseline)
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -36,6 +36,9 @@ func Obs(l *Lab) (*Report, error) {
 	opt := optimizer.New(sys.Model, l.Cfg.Grid, l.Cfg.SLO)
 	opt.Obs = reg
 	opt.Recorder = rec
+	// A manual clock keeps the sweep-duration histogram deterministic (every
+	// sweep observes 0s), so the report stays byte-identical across runs.
+	opt.Clock = &obs.ManualClock{}
 	inter := qsim.Interarrivals(hour.Timestamps)
 	if len(inter) > l.Cfg.SeqLen {
 		inter = inter[len(inter)-l.Cfg.SeqLen:]

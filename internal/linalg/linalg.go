@@ -1,14 +1,19 @@
 // Package linalg provides the small dense-matrix kernels needed by the
 // Markovian arrival process (MAP) machinery: products, linear solves,
 // stationary-vector computation, and the matrix exponential via Padé
-// approximation with scaling and squaring. Matrices here are tiny (the
-// reproduction uses 2-state MMPPs), so clarity beats blocking.
+// approximation with scaling and squaring. Matrices here are usually tiny
+// (the reproduction uses 2-state MMPPs); products route through the shared
+// internal/gemm kernels, which dispatch to the blocked/packed fast path for
+// the occasional large product (Kronecker-expanded superpositions) while
+// staying bit-identical to the naive reference kernel.
 package linalg
 
 import (
 	"errors"
 	"fmt"
 	"math"
+
+	"deepbat/internal/gemm"
 )
 
 // Mat is a dense row-major matrix.
@@ -96,23 +101,23 @@ func Scale(a *Mat, s float64) *Mat {
 	return out
 }
 
-// Mul returns the matrix product a b.
+// Mul returns the matrix product a b via the shared gemm kernels: the
+// blocked/packed kernel above gemm.BlockedThreshold, the naive reference
+// kernel below it. Both produce identical bits, so the dispatch is
+// invisible to callers.
 func Mul(a, b *Mat) *Mat {
 	if a.C != b.R {
 		panic(fmt.Sprintf("linalg: Mul dims %dx%d by %dx%d", a.R, a.C, b.R, b.C))
 	}
 	out := NewMat(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		for k := 0; k < a.C; k++ {
-			av := a.Data[i*a.C+k]
-			if av == 0 {
-				continue
-			}
-			for j := 0; j < b.C; j++ {
-				out.Data[i*b.C+j] += av * b.Data[k*b.C+j]
-			}
-		}
+	n, k, m := a.R, a.C, b.C
+	if n*k*m >= gemm.BlockedThreshold {
+		packed := make([]float64, gemm.PackedLen(k, m))
+		gemm.Pack(packed, b.Data, k, m)
+		gemm.Blocked(out.Data, a.Data, packed, 0, n, k, m)
+		return out
 	}
+	gemm.Naive(out.Data, a.Data, b.Data, 0, n, k, m)
 	return out
 }
 

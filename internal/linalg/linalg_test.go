@@ -290,3 +290,49 @@ func TestMulPanics(t *testing.T) {
 	}()
 	Mul(NewMat(2, 3), NewMat(2, 3))
 }
+
+// mulReference is the pre-gemm naive product (ikj with skip-on-zero),
+// retained as the floating-point reference for Mul.
+func mulReference(a, b *Mat) *Mat {
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			av := a.Data[i*a.C+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				out.Data[i*b.C+j] += av * b.Data[k*b.C+j]
+			}
+		}
+	}
+	return out
+}
+
+// TestMulMatchesReferenceBitwise pins Mul to the reference kernel on both
+// sides of the gemm blocked-dispatch threshold, including ragged shapes.
+func TestMulMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, s := range []struct{ n, k, m int }{
+		{2, 2, 2},    // MMPP-sized, naive path
+		{7, 5, 11},   // ragged, naive path
+		{33, 40, 37}, // ragged, blocked path (> BlockedThreshold)
+	} {
+		a := NewMat(s.n, s.k)
+		b := NewMat(s.k, s.m)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a.Data[0] = 0
+		want := mulReference(a, b)
+		got := Mul(a, b)
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("shape %v: cell %d = %v, want %v (bitwise)", s, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

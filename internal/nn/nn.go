@@ -60,6 +60,16 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.AddRow(tensor.MatMul(x, l.W), l.B)
 }
 
+// ForwardInto applies the layer tape-free into a preallocated dst (n × out),
+// bit-identical to Forward's values row for row. NoGrad only: it writes
+// through dst in place, which must never happen to a tensor on a tape.
+//
+//deepbat:nograd
+func (l *Linear) ForwardInto(dst, x *tensor.Tensor) *tensor.Tensor {
+	tensor.MatMulInto(dst, x, l.W)
+	return tensor.AddRowInPlace(dst, l.B)
+}
+
 // Params implements Module.
 func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
 
@@ -92,6 +102,24 @@ func NewFeedForward(rng *rand.Rand, in, hidden, out int) *FeedForward {
 // Forward applies the block row-wise.
 func (f *FeedForward) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return f.L2.Forward(tensor.ReLU(f.L1.Forward(x)))
+}
+
+// ForwardScratch applies the block tape-free, drawing the hidden activation
+// and the output from pool. The returned (n × Out) tensor is pool-owned: the
+// caller must hand it back with pool.Put (after copying anything it needs)
+// before the pool is reused for conflicting work. Values are bit-identical
+// to Forward's. NoGrad only.
+//
+//deepbat:nograd
+func (f *FeedForward) ForwardScratch(pool *tensor.ScratchPool, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Rows()
+	h := pool.Get(n, f.Hidden)
+	f.L1.ForwardInto(h, x)
+	tensor.ReLUInPlace(h)
+	out := pool.Get(n, f.Out)
+	f.L2.ForwardInto(out, h)
+	pool.Put(h)
+	return out
 }
 
 // Params implements Module.
@@ -251,6 +279,9 @@ type MultiHeadAttention struct {
 	// one (lq × lk) tensor per head, for the paper's Fig. 14 attention-score
 	// visualization. It is overwritten on every Forward call.
 	lastScores []*tensor.Tensor
+	// captureScores forces score recording even under NoGrad (see
+	// SetCaptureScores).
+	captureScores bool
 }
 
 // NewMultiHeadAttention builds an attention block; dim must be divisible by
@@ -278,9 +309,9 @@ func (m *MultiHeadAttention) Forward(q, k, v, mask *tensor.Tensor) *tensor.Tenso
 	scale := 1 / math.Sqrt(float64(m.headDim))
 
 	// Recording the attention maps mutates the module, which would race when
-	// many no-grad inference goroutines share one model; skip it there. Every
-	// consumer of LastScores (Fig. 14) runs in grad mode.
-	record := tensor.GradEnabled()
+	// many no-grad inference goroutines share one model; skip it there unless
+	// a single-goroutine caller opted in with SetCaptureScores.
+	record := tensor.GradEnabled() || m.captureScores
 	if record {
 		m.lastScores = m.lastScores[:0]
 	}
@@ -312,6 +343,14 @@ func (m *MultiHeadAttention) Forward(q, k, v, mask *tensor.Tensor) *tensor.Tenso
 // the most recent Forward call. The returned tensors are owned by the tape;
 // callers should copy the data if they need to keep it.
 func (m *MultiHeadAttention) LastScores() []*tensor.Tensor { return m.lastScores }
+
+// SetCaptureScores toggles attention-map recording for tape-free forwards.
+// Scores are always recorded in grad mode; under NoGrad they are skipped by
+// default because recording mutates the module, which would race across
+// concurrent inference goroutines. A single-goroutine caller that wants the
+// maps without building a tape (AttentionScores) sets the flag around its
+// forward pass and clears it afterwards.
+func (m *MultiHeadAttention) SetCaptureScores(on bool) { m.captureScores = on }
 
 // Params implements Module.
 func (m *MultiHeadAttention) Params() []*tensor.Tensor {

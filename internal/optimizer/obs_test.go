@@ -84,3 +84,60 @@ func TestDecideObsCountersAndEvents(t *testing.T) {
 		t.Fatal("Decide accepted a registry with a colliding metric name")
 	}
 }
+
+// TestDecideSweepMetrics checks the per-sweep candidate counter and the
+// clock-gated sweep-duration histogram.
+func TestDecideSweepMetrics(t *testing.T) {
+	grid := testGrid()
+	m := trainedModel(t, grid)
+	o := New(m, grid, 0.1)
+	reg := obs.NewRegistry()
+	o.Obs = reg
+	o.Clock = &obs.ManualClock{} // every sweep observes a duration of 0s
+
+	const decisions = 2
+	for i := 0; i < decisions; i++ {
+		if _, err := o.Decide(window()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := reg.Counter("optimizer_sweep_candidates_total", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(decisions * len(grid.Configs())); c.Value() != want {
+		t.Fatalf("sweep candidates = %v, want %v", c.Value(), want)
+	}
+	h, err := reg.Histogram("optimizer_sweep_duration_seconds", "", sweepDurationBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != decisions {
+		t.Fatalf("sweep duration count = %d, want %d", h.Count(), decisions)
+	}
+	if h.Sum() != 0 {
+		t.Fatalf("manual-clock sweeps should observe 0s, sum = %v", h.Sum())
+	}
+
+	// Without a clock the histogram stays empty but candidates still count.
+	o2 := New(m, grid, 0.1)
+	reg2 := obs.NewRegistry()
+	o2.Obs = reg2
+	if _, err := o2.Decide(window()); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := reg2.Histogram("optimizer_sweep_duration_seconds", "", sweepDurationBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count() != 0 {
+		t.Fatalf("clockless sweep observed %d durations", h2.Count())
+	}
+	c2, err := reg2.Counter("optimizer_sweep_candidates_total", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(len(grid.Configs())); c2.Value() != want {
+		t.Fatalf("clockless sweep candidates = %v, want %v", c2.Value(), want)
+	}
+}

@@ -32,8 +32,14 @@ type Optimizer struct {
 	// Gamma tightens the effective SLO to SLO*(1-Gamma); 0 disables it.
 	Gamma float64
 	// Obs, when non-nil, accumulates per-Decide counters: decisions, grid
-	// candidates evaluated and rejected, and infeasible fallbacks.
+	// candidates evaluated and rejected, infeasible fallbacks, candidates
+	// per batched sweep, and (when Clock is also set) a grid-sweep duration
+	// histogram.
 	Obs *obs.Registry
+	// Clock, when non-nil alongside Obs, times each batched PredictGrid
+	// sweep. Inject a WallClock when serving and a ManualClock in
+	// simulations/experiments so reports stay byte-identical.
+	Clock obs.Clock
 	// Recorder, when non-nil, receives one "decide" event per grid search.
 	Recorder *obs.Recorder
 }
@@ -75,7 +81,16 @@ func (o *Optimizer) Decide(window []float64) (Decision, error) {
 		return Decision{}, err
 	}
 	eff := o.SLO * (1 - clamp01(o.Gamma))
+	sweepStart := 0.0
+	if o.Clock != nil {
+		sweepStart = o.Clock.Now()
+	}
 	preds := o.Model.PredictGrid(window, cfgs)
+	elapsed := -1.0
+	if o.Clock != nil {
+		elapsed = o.Clock.Now() - sweepStart
+	}
+	met.observeSweep(len(cfgs), elapsed)
 	best := -1
 	fallback := 0
 	rejected := 0

@@ -8,9 +8,11 @@
 // The package also provides ground-truth dataset generation from the
 // discrete-event simulator, the paper's training loop (Adam, combined
 // Huber+MAPE loss with SLO-violation penalty), fine-tuning for
-// out-of-distribution workloads, and an encode-once fast path for grid
-// inference (the sequence is encoded a single time; each candidate
-// configuration only pays for the tiny feature branch and output head).
+// out-of-distribution workloads, and an encode-once, row-batched fast path
+// for grid inference: the sequence is encoded a single time, all candidate
+// feature rows are stacked into one matrix, and the feature branch and
+// output head run as row-batched GEMMs against a broadcast of the shared
+// encoding (see DESIGN.md, "Batched inference & kernel blocking").
 //
 // Training is data-parallel: the samples of each minibatch are sharded
 // across workers running weight-sharing model replicas, and the per-sample
@@ -18,7 +20,10 @@
 // bit-deterministic for a given seed regardless of the worker count.
 // Inference entry points (Predict, PredictGrid, EvalLoss, EvalMAPE) run
 // inside tensor.NoGrad — no autograd tape or gradient buffers are allocated
-// — and fan independent forward passes across goroutines.
+// — encode independent sequences across goroutines, and share one batched
+// head pass. The rows of a matrix product are computed independently with a
+// fixed summation order, so batched outputs are bit-identical to the
+// per-candidate Predict path.
 package surrogate
 
 import (
@@ -206,12 +211,18 @@ func nonzero(x float64) float64 {
 
 // normalizeFeatures standardizes (M, B, T) into a (1, 3) tensor.
 func (m *Model) normalizeFeatures(cfg lambda.Config) *tensor.Tensor {
-	raw := [3]float64{cfg.MemoryMB, float64(cfg.BatchSize), cfg.TimeoutS}
 	data := make([]float64, 3)
-	for i, x := range raw {
-		data[i] = (x - m.Norm.FeatMean[i]) / nonzero(m.Norm.FeatStd[i])
-	}
+	m.normalizeFeaturesRow(data, cfg)
 	return tensor.FromData(data, 1, 3)
+}
+
+// normalizeFeaturesRow writes the standardized (M, B, T) row of cfg into dst
+// (length 3), the row layout consumed by the batched feature branch.
+func (m *Model) normalizeFeaturesRow(dst []float64, cfg lambda.Config) {
+	raw := [3]float64{cfg.MemoryMB, float64(cfg.BatchSize), cfg.TimeoutS}
+	for i, x := range raw {
+		dst[i] = (x - m.Norm.FeatMean[i]) / nonzero(m.Norm.FeatStd[i])
+	}
 }
 
 // EncodeSequence runs the sequence branch: embedding, positional encoding,
@@ -238,6 +249,35 @@ func (m *Model) EncodeSequence(seq []float64) *tensor.Tensor {
 func (m *Model) headForward(e1 *tensor.Tensor, cfg lambda.Config) *tensor.Tensor {
 	e2 := m.featFF.Forward(m.normalizeFeatures(cfg))  // Eq. 5
 	return m.outFF.Forward(tensor.ConcatCols(e1, e2)) // Eq. 6
+}
+
+// gridScratch recycles the intermediate matrices of batched head passes
+// across sweeps; a steady-state grid sweep allocates O(1) tensors instead of
+// O(K). Safe for concurrent sweeps (sync.Pool underneath).
+var gridScratch tensor.ScratchPool
+
+// headForwardBatch is the row-batched headForward: e1Rows (n × d) holds one
+// sequence encoding per row and feats (n × 3) one standardized candidate
+// row, and the result (n × OutputDim) stacks the scaled output vectors. The
+// rows of a matrix product are computed independently with the same
+// fixed-order summation, so row i is bit-identical to
+// headForward(e1Rows[i], cfg[i]) — pinned by TestPredictGridMatchesPredict.
+// The returned tensor is owned by pool; the caller must Put it back.
+// NoGrad only.
+//
+//deepbat:nograd
+func (m *Model) headForwardBatch(pool *tensor.ScratchPool, e1Rows, feats *tensor.Tensor) *tensor.Tensor {
+	n, d := feats.Rows(), m.Cfg.EmbedDim
+	e2 := m.featFF.ForwardScratch(pool, feats) // Eq. 5, all rows at once
+	cat := pool.Get(n, 2*d)                    // rows [e1_i | e2_i], as ConcatCols builds them
+	for i := 0; i < n; i++ {
+		copy(cat.Data[i*2*d:i*2*d+d], e1Rows.Data[i*d:(i+1)*d])
+		copy(cat.Data[i*2*d+d:(i+1)*2*d], e2.Data[i*d:(i+1)*d])
+	}
+	pool.Put(e2)
+	out := m.outFF.ForwardScratch(pool, cat) // Eq. 6, all rows at once
+	pool.Put(cat)
+	return out
 }
 
 // Forward runs the full model and returns the scaled (normalized-space)
@@ -271,7 +311,14 @@ func (p Prediction) Percentile(cfg ModelConfig, pct float64) (float64, bool) {
 // levels are ascending, so a non-monotone raw output is necessarily an
 // estimation artifact that would mislead the SLO constraint check.
 func (m *Model) decode(out []float64, cfg lambda.Config) Prediction {
-	p := Prediction{Config: cfg, Percentiles: make([]float64, len(m.Cfg.Percentiles))}
+	return m.decodeInto(out, cfg, make([]float64, len(m.Cfg.Percentiles)))
+}
+
+// decodeInto is decode writing the percentile vector into a caller-supplied
+// slice, so a batched decode can back every prediction of a sweep with one
+// shared allocation.
+func (m *Model) decodeInto(out []float64, cfg lambda.Config, percs []float64) Prediction {
+	p := Prediction{Config: cfg, Percentiles: percs}
 	p.CostPerRequest = out[0] * m.Norm.OutScale[0]
 	prev := math.Inf(-1)
 	for i := range p.Percentiles {
@@ -283,6 +330,17 @@ func (m *Model) decode(out []float64, cfg lambda.Config) Prediction {
 		prev = v
 	}
 	return p
+}
+
+// decodeRows decodes row i of the (n × OutputDim) scaled output matrix into
+// dst[i], with all percentile slices carved from one backing allocation.
+func (m *Model) decodeRows(out *tensor.Tensor, cfgs []lambda.Config, dst []Prediction) {
+	w := m.Cfg.OutputDim()
+	np := len(m.Cfg.Percentiles)
+	backing := make([]float64, len(cfgs)*np)
+	for i, cfg := range cfgs {
+		dst[i] = m.decodeInto(out.Data[i*w:(i+1)*w], cfg, backing[i*np:(i+1)*np:(i+1)*np])
+	}
 }
 
 // Predict runs one sequence/configuration pair and returns physical-unit
@@ -302,18 +360,32 @@ func (m *Model) Predict(seq []float64, cfg lambda.Config) Prediction {
 // PredictGrid encodes the sequence once and evaluates every candidate
 // configuration against the shared encoding — the fast path that lets
 // DeepBAT sweep the whole grid in milliseconds (Section III-D/IV-F). The
-// whole sweep runs tape-free, and the per-candidate head passes (tiny,
-// independent) are fanned across goroutines.
+// sweep runs tape-free and row-batched: all K candidate feature rows are
+// stacked into one (K, 3) matrix, the feature branch and output head run as
+// row-batched GEMMs against a broadcast of the shared encoding, and all K
+// predictions decode from one output matrix. Intermediates come from a
+// scratch pool, so a steady-state sweep allocates O(1) tensors instead of
+// O(K). Each output row is bit-identical to the per-candidate Predict path.
 //
 //deepbat:nograd
 func (m *Model) PredictGrid(seq []float64, cfgs []lambda.Config) []Prediction {
 	out := make([]Prediction, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
 	tensor.NoGrad(func() {
 		e1 := m.EncodeSequence(seq)
-		parallelFor(len(cfgs), func(i int) {
-			o := m.headForward(e1, cfgs[i])
-			out[i] = m.decode(o.Data, cfgs[i])
-		})
+		k, d := len(cfgs), m.Cfg.EmbedDim
+		e1Rows := gridScratch.Get(k, d)
+		feats := gridScratch.Get(k, 3)
+		for i, cfg := range cfgs {
+			copy(e1Rows.Data[i*d:(i+1)*d], e1.Data)
+			m.normalizeFeaturesRow(feats.Data[i*3:(i+1)*3], cfg)
+		}
+		o := m.headForwardBatch(&gridScratch, e1Rows, feats)
+		gridScratch.Put(e1Rows, feats)
+		m.decodeRows(o, cfgs, out)
+		gridScratch.Put(o)
 	})
 	return out
 }
@@ -358,19 +430,28 @@ func parallelFor(n int, fn func(i int)) {
 // position, the aggregate attention received in the first encoder layer
 // (averaged over heads and query positions, normalized to sum to 1). This is
 // the quantity visualized in Fig. 14 of the paper.
+//
+// The pass runs tape-free — visualization never backpropagates, and the old
+// grad-mode forward built (and leaked) a full autograd tape per call. Score
+// capture mutates the attention module, so AttentionScores must not run
+// concurrently with itself or other forwards on the same model.
+//
+//deepbat:nograd
 func (m *Model) AttentionScores(seq []float64) []float64 {
-	m.EncodeSequence(seq)
-	layer := m.enc.Layers[0]
-	heads := layer.Att.LastScores()
-	l := len(seq)
-	agg := make([]float64, l)
-	for _, h := range heads {
-		for r := 0; r < h.Rows(); r++ {
-			for c := 0; c < h.Cols(); c++ {
-				agg[c] += h.At(r, c)
+	agg := make([]float64, len(seq))
+	tensor.NoGrad(func() {
+		att := m.enc.Layers[0].Att
+		att.SetCaptureScores(true)
+		defer att.SetCaptureScores(false)
+		m.EncodeSequence(seq)
+		for _, h := range att.LastScores() {
+			for r := 0; r < h.Rows(); r++ {
+				for c := 0; c < h.Cols(); c++ {
+					agg[c] += h.At(r, c)
+				}
 			}
 		}
-	}
+	})
 	total := 0.0
 	for _, v := range agg {
 		total += v

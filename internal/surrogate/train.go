@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"deepbat/internal/lambda"
 	"deepbat/internal/loss"
 	"deepbat/internal/obs"
 	"deepbat/internal/opt"
@@ -273,40 +274,73 @@ func (m *Model) FineTune(data *Dataset, cfg TrainConfig) (*History, error) {
 	return m.Train(data, nil, cfg)
 }
 
+// forwardRows encodes every sample of d concurrently (sequence encodes are
+// independent), stacks the encodings and standardized feature rows, and runs
+// one batched head pass, returning the (N × OutputDim) scaled output matrix.
+// The result is owned by gridScratch; the caller must Put it back. Row i is
+// bit-identical to Forward(d.Samples[i]). Must run inside tensor.NoGrad.
+func (m *Model) forwardRows(d *Dataset) *tensor.Tensor {
+	n, dim := d.Len(), m.Cfg.EmbedDim
+	e1Rows := gridScratch.Get(n, dim)
+	feats := gridScratch.Get(n, 3)
+	parallelFor(n, func(i int) {
+		s := d.Samples[i]
+		e := m.EncodeSequence(s.Seq)
+		copy(e1Rows.Data[i*dim:(i+1)*dim], e.Data)
+		m.normalizeFeaturesRow(feats.Data[i*3:(i+1)*3], s.Config)
+	})
+	out := m.headForwardBatch(&gridScratch, e1Rows, feats)
+	gridScratch.Put(e1Rows, feats)
+	return out
+}
+
 // EvalLoss computes the mean combined loss over a dataset without updating
-// parameters. Samples are evaluated tape-free across goroutines; the final
-// sum runs in sample order, so the result is deterministic.
+// parameters. The pass is tape-free and batched (one head GEMM for the whole
+// dataset); per-sample losses are reduced in sample order, so the result is
+// deterministic and bit-identical to the per-sample evaluation it replaced.
 //
 //deepbat:nograd
 func (m *Model) EvalLoss(d *Dataset, cfg TrainConfig) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	vals := make([]float64, d.Len())
-	tensor.NoGrad(func() {
-		parallelFor(d.Len(), func(i int) {
-			vals[i] = m.sampleLoss(d.Samples[i], cfg).Item()
-		})
-	})
 	var total float64
-	for _, v := range vals {
-		total += v
-	}
+	tensor.NoGrad(func() {
+		out := m.forwardRows(d)
+		w := m.Cfg.OutputDim()
+		for i, s := range d.Samples {
+			pred := tensor.FromData(out.Data[i*w:(i+1)*w], w)
+			target := tensor.FromData(m.scaleTarget(s.Target), len(s.Target))
+			weights := loss.SLOWeights(s.Target, cfg.SLO, cfg.Loss)
+			l := loss.Combined(pred, target, cfg.Loss, weights)
+			//lint:allow floatcompare SampleWeight returns the literal 1.0 for unpenalized samples; bit equality skips a no-op Scale
+			if wgt := loss.SampleWeight(s.Target, cfg.SLO, cfg.Loss); wgt != 1 {
+				l = tensor.Scale(l, wgt)
+			}
+			total += l.Item()
+		}
+		gridScratch.Put(out)
+	})
 	return total / float64(d.Len())
 }
 
-// predictAll runs tape-free predictions for every sample concurrently,
-// returning them in sample order.
+// predictAll runs tape-free batched predictions for every sample, returning
+// them in sample order.
 //
 //deepbat:nograd
 func (m *Model) predictAll(d *Dataset) []Prediction {
 	preds := make([]Prediction, d.Len())
+	if d.Len() == 0 {
+		return preds
+	}
 	tensor.NoGrad(func() {
-		parallelFor(d.Len(), func(i int) {
-			s := d.Samples[i]
-			out := m.Forward(s.Seq, s.Config)
-			preds[i] = m.decode(out.Data, s.Config)
-		})
+		out := m.forwardRows(d)
+		cfgs := make([]lambda.Config, d.Len())
+		for i, s := range d.Samples {
+			cfgs[i] = s.Config
+		}
+		m.decodeRows(out, cfgs, preds)
+		gridScratch.Put(out)
 	})
 	return preds
 }

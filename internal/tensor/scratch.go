@@ -1,0 +1,122 @@
+// Scratch-buffer reuse and in-place operations for tape-free inference.
+//
+// The autograd ops in tensor.go allocate a fresh output tensor per call —
+// the right contract for training, where every intermediate lives on the
+// tape, but pure overhead for inference loops that rebuild the same
+// short-lived matrices on every request. This file provides the NoGrad-only
+// complement: a ScratchPool that recycles tensor buffers across calls, and
+// in-place/into variants of the ops the batched inference path needs. All
+// of them refuse to run in grad mode (they panic), because a reused or
+// mutated buffer would corrupt a recorded tape.
+//
+// Ownership rules (see DESIGN.md "Batched inference & kernel blocking"):
+// a tensor obtained from ScratchPool.Get is owned by the caller until it is
+// handed back with Put; after Put the buffer may be handed out again, so
+// neither the tensor nor any slice of its Data may be retained. Results
+// that outlive the scope must be copied out before Put. Pools are safe for
+// concurrent use; individual scratch tensors are not.
+
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ScratchPool recycles float64 buffers for NoGrad inference paths. The zero
+// value is ready to use. Buffers are handed out as leaf tensors; the pool
+// never inspects or clears contents, so every consumer must fully overwrite
+// what it Gets (the Into/InPlace ops below do).
+type ScratchPool struct {
+	pool sync.Pool
+}
+
+// Get returns a leaf tensor of the given shape backed by a recycled buffer
+// when one of sufficient capacity is available. It panics outside NoGrad:
+// pooled storage must never be woven into an autograd tape.
+func (p *ScratchPool) Get(shape ...int) *Tensor {
+	if GradEnabled() {
+		panic("tensor: ScratchPool.Get outside NoGrad")
+	}
+	s := append([]int(nil), shape...)
+	n := numel(s)
+	if v := p.pool.Get(); v != nil {
+		buf := v.(*[]float64)
+		if cap(*buf) >= n {
+			return &Tensor{Data: (*buf)[:n], Shape: s}
+		}
+	}
+	return &Tensor{Data: make([]float64, n), Shape: s}
+}
+
+// Put returns tensors obtained from Get to the pool. The tensors (and any
+// aliases of their Data) must not be used afterwards.
+func (p *ScratchPool) Put(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		d := t.Data
+		t.Data = nil
+		p.pool.Put(&d)
+	}
+}
+
+// noGradOnly panics when called in grad mode; the in-place ops below mutate
+// their operands, which would corrupt a recorded tape.
+func noGradOnly(op string) {
+	if GradEnabled() {
+		panic(fmt.Sprintf("tensor: %s requires an enclosing NoGrad scope", op))
+	}
+}
+
+// MatMulInto computes dst = a × b into a preallocated dst (shape n×m),
+// bit-identical to MatMul's forward values, without allocating an output
+// tensor. NoGrad only.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	noGradOnly("MatMulInto")
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulInto requires 2-D tensors")
+	}
+	n, k := a.Shape[0], a.Shape[1]
+	k2, m := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dims %d vs %d", k, k2))
+	}
+	if dst.Dims() != 2 || dst.Shape[0] != n || dst.Shape[1] != m {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, n, m))
+	}
+	matmulInto(dst.Data, a.Data, b.Data, n, k, m)
+	return dst
+}
+
+// AddRowInPlace adds the vector b (length m) to each row of a in place,
+// bit-identical to AddRow's forward values. NoGrad only.
+func AddRowInPlace(a, b *Tensor) *Tensor {
+	noGradOnly("AddRowInPlace")
+	m := a.Cols()
+	if b.NumEl() != m {
+		panic(fmt.Sprintf("tensor: AddRowInPlace bias length %d vs cols %d", b.NumEl(), m))
+	}
+	n := len(a.Data) / m
+	for r := 0; r < n; r++ {
+		off := r * m
+		for c := 0; c < m; c++ {
+			a.Data[off+c] += b.Data[c]
+		}
+	}
+	return a
+}
+
+// ReLUInPlace clamps a to max(0, a) elementwise in place, bit-identical to
+// ReLU's forward values (negative zero maps to +0, exactly as ReLU's
+// zero-filled output does). NoGrad only.
+func ReLUInPlace(a *Tensor) *Tensor {
+	noGradOnly("ReLUInPlace")
+	for i, v := range a.Data {
+		if !(v > 0) {
+			a.Data[i] = 0
+		}
+	}
+	return a
+}

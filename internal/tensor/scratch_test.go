@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulBlockedDispatchBitIdentical drives MatMul through the blocked
+// kernel (sizes above gemm.BlockedThreshold) and checks the result against
+// the retained naive reference kernel bit for bit, on shapes whose column
+// count leaves a ragged panel.
+func TestMatMulBlockedDispatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, s := range []struct{ n, k, m int }{
+		{40, 40, 40},   // full + ragged tiles, just above threshold
+		{33, 65, 31},   // every dimension odd
+		{128, 16, 128}, // wide, small inner dim
+		{64, 64, 64},
+	} {
+		a := Randn(rng, 1, s.n, s.k)
+		b := Randn(rng, 1, s.k, s.m)
+		// Sparsify to exercise the skip-on-zero contract.
+		for i := range a.Data {
+			if rng.Float64() < 0.25 {
+				a.Data[i] = 0
+			}
+		}
+		want := make([]float64, s.n*s.m)
+		matmulRows(want, a.Data, b.Data, 0, s.n, s.k, s.m)
+		got := MatMul(a, b)
+		for i := range want {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shape %v: cell %d = %v, want %v (bitwise)", s, i, got.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInPlaceOpsMatchAllocatingOps pins the forward-value bit-identity of
+// the NoGrad in-place ops against their tape-recording counterparts.
+func TestInPlaceOpsMatchAllocatingOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := Randn(rng, 1, 7, 5)
+	b := Randn(rng, 1, 5, 9)
+	bias := Randn(rng, 1, 9)
+	// Include a negative zero and a negative entry for the ReLU edge cases.
+	a.Data[0] = math.Copysign(0, -1)
+	a.Data[1] = -2.5
+
+	var gotMM, gotAdd, gotRelu []float64
+	NoGrad(func() {
+		dst := New(7, 9)
+		MatMulInto(dst, a, b)
+		gotMM = append([]float64(nil), dst.Data...)
+		AddRowInPlace(dst, bias)
+		gotAdd = append([]float64(nil), dst.Data...)
+		ReLUInPlace(dst)
+		gotRelu = append([]float64(nil), dst.Data...)
+	})
+
+	wantMM := MatMul(a, b)
+	wantAdd := AddRow(wantMM, bias)
+	wantRelu := ReLU(wantAdd)
+	check := func(name string, got, want []float64) {
+		t.Helper()
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: cell %d = %v, want %v (bitwise)", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("MatMulInto", gotMM, wantMM.Data)
+	check("AddRowInPlace", gotAdd, wantAdd.Data)
+	check("ReLUInPlace", gotRelu, wantRelu.Data)
+}
+
+// TestInPlaceOpsPanicInGradMode pins the guard that keeps mutating ops off
+// the tape.
+func TestInPlaceOpsPanicInGradMode(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	for name, fn := range map[string]func(){
+		"MatMulInto":    func() { MatMulInto(New(2, 2), a, b) },
+		"AddRowInPlace": func() { AddRowInPlace(a, New(2)) },
+		"ReLUInPlace":   func() { ReLUInPlace(a) },
+		"ScratchGet":    func() { var p ScratchPool; p.Get(2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic outside NoGrad", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestScratchPoolReuse checks that Put-then-Get hands the same backing
+// buffer out again (for equal sizes) and that shapes are respected.
+func TestScratchPoolReuse(t *testing.T) {
+	var p ScratchPool
+	NoGrad(func() {
+		t1 := p.Get(4, 3)
+		if t1.Rows() != 4 || t1.Cols() != 3 || len(t1.Data) != 12 {
+			t.Fatalf("bad scratch shape %v len %d", t1.Shape, len(t1.Data))
+		}
+		first := &t1.Data[0]
+		p.Put(t1)
+		t2 := p.Get(3, 4)
+		if len(t2.Data) != 12 {
+			t.Fatalf("bad reshaped scratch len %d", len(t2.Data))
+		}
+		if &t2.Data[0] != first {
+			t.Fatalf("scratch buffer was not reused")
+		}
+		p.Put(t2)
+	})
+}
+
+// TestMatMulAllocBudget guards the allocation profile of the hot kernel: a
+// steady-state 256x256 NoGrad MatMul must stay within a small constant
+// number of allocations per op (output data + tensor bookkeeping; the pack
+// scratch is pooled). Regressions here silently erode the grid-sweep wins.
+func TestMatMulAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; alloc budget is not meaningful")
+	}
+	rng := rand.New(rand.NewSource(53))
+	a := Randn(rng, 1, 256, 256)
+	b := Randn(rng, 1, 256, 256)
+	var allocs float64
+	NoGrad(func() {
+		allocs = testing.AllocsPerRun(10, func() {
+			MatMul(a, b)
+		})
+	})
+	// 1 output data slice + tensor struct + shape slice, plus pool slack.
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("MatMul(256x256) allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

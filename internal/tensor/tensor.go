@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"deepbat/internal/gemm"
 )
 
 // noGradDepth counts the currently active NoGrad scopes across all
@@ -476,9 +478,39 @@ func matmulInto(dst, a, b []float64, n, k, m int) {
 	matmulIntoWorkers(dst, a, b, n, k, m, matmulWorkers(n*k*m, n))
 }
 
+// packPool recycles the scratch buffers the blocked kernel packs B into.
+// Buffers are fully overwritten by gemm.Pack before any read, so reuse can
+// never leak stale values into a product.
+var packPool sync.Pool
+
+func getPackBuf(n int) *[]float64 {
+	if v := packPool.Get(); v != nil {
+		buf := v.(*[]float64)
+		if cap(*buf) >= n {
+			*buf = (*buf)[:n]
+			return buf
+		}
+	}
+	buf := make([]float64, n)
+	return &buf
+}
+
 // matmulIntoWorkers is matmulInto with an explicit worker count (exposed
-// for the parallel-vs-serial property tests).
+// for the parallel-vs-serial property tests). Large products route through
+// the packed blocked kernel (gemm.Blocked), small ones through the naive
+// reference kernel (gemm.Naive); the two are bit-identical, so the dispatch
+// threshold affects speed only. The packed copy of B is shared read-only
+// across the row-range workers and pooled across calls.
 func matmulIntoWorkers(dst, a, b []float64, n, k, m, workers int) {
+	if n*k*m >= gemm.BlockedThreshold {
+		buf := getPackBuf(gemm.PackedLen(k, m))
+		gemm.Pack(*buf, b, k, m)
+		rowBlocks(n, workers, func(lo, hi int) {
+			gemm.Blocked(dst, a, *buf, lo, hi, k, m)
+		})
+		packPool.Put(buf)
+		return
+	}
 	rowBlocks(n, workers, func(lo, hi int) {
 		matmulRows(dst, a, b, lo, hi, k, m)
 	})
@@ -534,27 +566,11 @@ func matmulBackwardBWorkers(bGrad, a, outGrad []float64, n, k, m, workers int) {
 	})
 }
 
-// matmulRows computes rows [lo, hi) of the product using an ikj loop order
-// that streams B row-wise for cache locality.
+// matmulRows computes rows [lo, hi) of the product with the retained naive
+// reference kernel (ikj loop order, streaming B row-wise). It defines the
+// bit pattern every faster kernel must reproduce.
 func matmulRows(dst, a, b []float64, lo, hi, k, m int) {
-	for i := lo; i < hi; i++ {
-		dOff := i * m
-		aOff := i * k
-		row := dst[dOff : dOff+m]
-		for c := range row {
-			row[c] = 0
-		}
-		for j := 0; j < k; j++ {
-			av := a[aOff+j]
-			if av == 0 {
-				continue
-			}
-			bOff := j * m
-			for c := 0; c < m; c++ {
-				row[c] += av * b[bOff+c]
-			}
-		}
-	}
+	gemm.Naive(dst, a, b, lo, hi, k, m)
 }
 
 // Transpose returns the transpose of a 2-D tensor.
