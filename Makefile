@@ -8,11 +8,16 @@ GO ?= go
 # drive from row-sharded workers, data-parallel training / no-grad parallel
 # evaluation (including the batched grid-sweep fan-out), the analytical
 # baseline used by the same experiments, the gateway (which spawns
-# batching/control goroutines under test), and the observability
-# registry/recorder hammered from many goroutines.
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/obs/...
+# batching/control/retry goroutines under test), the fault-injection layer
+# (whose FaultyBackend counter is hit from concurrent batch executions), and
+# the observability registry/recorder hammered from many goroutines.
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/...
 
-.PHONY: verify fmtcheck lint test race bench fuzz
+# Per-package coverage floors enforced by `make cover` (see the cover target).
+COVER_FLOOR_GATEWAY = 80
+COVER_FLOOR_FAULT   = 90
+
+.PHONY: verify fmtcheck lint test race bench fuzz chaos cover
 
 ## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
 ## and the full test suite. Every PR must leave this green.
@@ -44,6 +49,30 @@ bench:
 	$(GO) run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
 
 ## fuzz: a short native-fuzzing pass over the discrete-event simulator's
-## batching invariants (qsim.FuzzRun), sized for CI (~20s).
+## batching invariants (qsim.FuzzRun), sized for CI (~20s). The corpus seeds
+## include fault schedules, so the failure mirror is fuzzed too.
 fuzz:
 	$(GO) test -fuzz=FuzzRun -fuzztime=20s -run='^$$' ./internal/qsim
+
+## chaos: the -race chaos soak — a real-time gateway under concurrent load
+## with seeded backend faults, retries, deadlines, and the breaker all live.
+## Bounded to ~20s (15s soak + harness overhead).
+chaos:
+	CHAOS_SOAK_S=15 $(GO) test -race -run 'TestChaosSoak|TestChaosScenarios|TestChaosNoLeakedGoroutines' -v -timeout 120s ./internal/gateway/
+
+## cover: per-package coverage gate. Fails if gateway drops below
+## $(COVER_FLOOR_GATEWAY)% or fault below $(COVER_FLOOR_FAULT)% of
+## statements (stdlib tooling only: go test -coverprofile + go tool cover).
+cover:
+	@set -e; \
+	check() { \
+		pkg=$$1; floor=$$2; \
+		$(GO) test -coverprofile=cover.$$3.out -covermode=atomic $$pkg >/dev/null; \
+		pct=$$($(GO) tool cover -func=cover.$$3.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		rm -f cover.$$3.out; \
+		echo "$$pkg coverage: $$pct% (floor $$floor%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN {print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "coverage below floor"; exit 1; fi; \
+	}; \
+	check ./internal/gateway $(COVER_FLOOR_GATEWAY) gateway; \
+	check ./internal/fault $(COVER_FLOOR_FAULT) fault

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"deepbat"
+	"deepbat/internal/fault"
 	"deepbat/internal/gateway"
 	"deepbat/internal/lambda"
 )
@@ -40,6 +41,20 @@ func main() {
 	demo := flag.Bool("demo", false, "self-drive synthetic traffic and exit")
 	demoRate := flag.Float64("demo-rate", 100, "demo traffic rate (req/s)")
 	demoDur := flag.Duration("demo-duration", 10*time.Second, "demo length")
+	// Resilience knobs.
+	maxRetries := flag.Int("max-retries", 2, "backend retries per batch before it fails")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per retry)")
+	retryMax := flag.Duration("retry-max", time.Second, "retry backoff cap")
+	retryJitterSeed := flag.Int64("retry-jitter-seed", 1, "backoff jitter PRNG seed (0 disables jitter)")
+	requestTimeout := flag.Float64("request-timeout", 0, "per-request deadline in seconds (0 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open the circuit breaker (0 = disabled)")
+	breakerCooldown := flag.Float64("breaker-cooldown", 5, "seconds the breaker stays open before a half-open probe")
+	// Chaos knobs: a seeded fault.Plan injected in front of the backend.
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed")
+	faultErrorRate := flag.Float64("fault-error-rate", 0, "probability an invocation attempt fails")
+	faultStragglerRate := flag.Float64("fault-straggler-rate", 0, "probability an invocation straggles")
+	faultColdSpikeRate := flag.Float64("fault-cold-spike-rate", 0, "probability an invocation pays a cold-start spike")
+	faultDecideErrorRate := flag.Float64("fault-decide-error-rate", 0, "probability a control decision fails")
 	flag.Parse()
 
 	sys, err := deepbat.LoadSystem(*model, optionsWithSLO(*slo))
@@ -53,18 +68,49 @@ func main() {
 		}
 		return d.Config, nil
 	}
+	var backend gateway.Backend = gateway.SimulatedBackend{
+		Profile:   deepbat.DefaultProfile(),
+		Pricing:   deepbat.DefaultPricing(),
+		TimeScale: *timeScale,
+	}
+	plan := fault.Plan{
+		Seed:            *faultSeed,
+		ErrorRate:       *faultErrorRate,
+		StragglerRate:   *faultStragglerRate,
+		ColdSpikeRate:   *faultColdSpikeRate,
+		DecideErrorRate: *faultDecideErrorRate,
+	}
+	if plan.Active() {
+		inj := fault.NewInjector(plan)
+		pricing := deepbat.DefaultPricing()
+		backend = &fault.FaultyBackend{
+			Inner: backend, Inj: inj, Pricing: &pricing, TimeScale: *timeScale,
+		}
+		decide = inj.WrapDecide(decide)
+		fmt.Printf("gateway: fault injection active (seed %d, error %.2f, straggler %.2f, cold-spike %.2f, decide-error %.2f)\n",
+			plan.Seed, plan.ErrorRate, plan.StragglerRate, plan.ColdSpikeRate, plan.DecideErrorRate)
+	}
+	resilience := gateway.Resilience{
+		MaxRetries:       *maxRetries,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		RequestTimeoutS:  *requestTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldownS: *breakerCooldown,
+		Fallback:         lambda.Config{MemoryMB: 1024, BatchSize: 1, TimeoutS: 0},
+	}
+	if *retryJitterSeed != 0 {
+		resilience.Jitter = rand.New(rand.NewSource(*retryJitterSeed))
+	}
 	gw, err := gateway.New(
-		gateway.SimulatedBackend{
-			Profile:   deepbat.DefaultProfile(),
-			Pricing:   deepbat.DefaultPricing(),
-			TimeScale: *timeScale,
-		},
+		backend,
 		decide,
 		gateway.Config{
 			Initial:     lambda.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
 			SLO:         *slo,
 			DecideEvery: *decideEvery,
 			WindowLen:   sys.Model.Cfg.SeqLen,
+			Resilience:  resilience,
 		},
 	)
 	if err != nil {

@@ -11,7 +11,7 @@ var sharedLab = NewLab(QuickLabConfig())
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{
-		"ablations",
+		"ablations", "chaos",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"obs", "timing",
@@ -85,6 +85,31 @@ func TestObsExperiment(t *testing.T) {
 	}
 	if again.String() != out {
 		t.Fatal("obs experiment not reproducible within one lab")
+	}
+}
+
+func TestChaosExperiment(t *testing.T) {
+	rep, err := Run(sharedLab, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d, want error-rate sweep + retry ablation", len(rep.Tables))
+	}
+	out := rep.String()
+	for _, want := range []string{"error rate", "failed reqs", "retry budget", "fault-free baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos report missing %q:\n%s", want, out)
+		}
+	}
+	// Fault outcomes are pure functions of (seed, invocation index): the
+	// report reproduces byte for byte.
+	again, err := Run(sharedLab, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("chaos experiment not reproducible within one lab")
 	}
 }
 

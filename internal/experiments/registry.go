@@ -31,6 +31,9 @@ var registry = map[string]Runner{
 	// Observability: dump an instrumented simulation's metric snapshot and
 	// event stream (internal/obs).
 	"obs": Obs,
+	// Chaos: the serving path under the deterministic fault model
+	// (internal/fault), swept over error rates and retry budgets.
+	"chaos": Chaos,
 }
 
 // IDs returns the registered experiment identifiers in sorted order.

@@ -1,0 +1,308 @@
+// Package fault is DeepBAT's deterministic, seed-driven fault-injection
+// layer: the failure model the gateway's resilience machinery (retries,
+// per-request deadlines, circuit breaker) is built against and that
+// internal/qsim mirrors in simulated time.
+//
+// The central contract is bit-determinism under a fixed seed: the outcome of
+// invocation i is a pure function of (Plan.Seed, i) — derived with a
+// splitmix64 hash, never a shared mutable PRNG — so the real-time gateway,
+// the discrete-event simulator, and the chaos-test harness all agree on the
+// same fault schedule regardless of goroutine scheduling. An explicit
+// Script overrides the hashed schedule for the first len(Script)
+// invocations, which is how the table-driven breaker/retry tests pin exact
+// failure sequences.
+//
+// FaultyBackend wraps any batching backend (it satisfies gateway.Backend
+// structurally, without importing the gateway), and WrapDecide makes any
+// decision function fallible the same way.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"deepbat/internal/lambda"
+)
+
+// ErrInjected is the sentinel every injected backend error wraps; match it
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected backend error")
+
+// ErrInjectedDecide is the sentinel every injected decide error wraps.
+var ErrInjectedDecide = errors.New("fault: injected decide error")
+
+// InjectedError is the typed error a FaultyBackend returns for a failed
+// invocation; it records which invocation index failed.
+type InjectedError struct {
+	Invocation uint64
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected backend error (invocation %d)", e.Invocation)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// InjectedDecideError is the typed error an injected decide failure carries.
+type InjectedDecideError struct {
+	Decision uint64
+}
+
+// Error implements error.
+func (e *InjectedDecideError) Error() string {
+	return fmt.Sprintf("fault: injected decide error (decision %d)", e.Decision)
+}
+
+// Unwrap makes errors.Is(err, ErrInjectedDecide) true.
+func (e *InjectedDecideError) Unwrap() error { return ErrInjectedDecide }
+
+// Outcome describes the faults injected into one backend invocation
+// attempt. The zero value is a clean invocation.
+type Outcome struct {
+	// Err fails the invocation outright (the backend is never reached).
+	Err bool
+	// StragglerFactor > 0 multiplies the invocation's service time,
+	// modeling a slow container or a noisy neighbour.
+	StragglerFactor float64
+	// ColdSpikeS > 0 adds that many seconds of latency, modeling a
+	// cold-start spike beyond the profile's steady-state cold start.
+	ColdSpikeS float64
+}
+
+// Clean reports whether the outcome injects nothing.
+func (o Outcome) Clean() bool {
+	return !o.Err && o.StragglerFactor <= 0 && o.ColdSpikeS <= 0
+}
+
+// Plan parameterizes an Injector. Rates are independent per-invocation
+// probabilities in [0, 1].
+type Plan struct {
+	// Seed drives the whole schedule; two injectors with equal plans
+	// produce identical outcomes.
+	Seed int64
+	// ErrorRate is the probability an invocation attempt fails.
+	ErrorRate float64
+	// StragglerRate is the probability a successful invocation straggles;
+	// StragglerFactor (default 4) multiplies its service time.
+	StragglerRate   float64
+	StragglerFactor float64
+	// ColdSpikeRate is the probability a successful invocation pays an
+	// extra ColdSpikeS seconds (default 1 s) of latency.
+	ColdSpikeRate float64
+	ColdSpikeS    float64
+	// DecideErrorRate is the probability a wrapped decide call fails.
+	DecideErrorRate float64
+	// Script, when non-empty, pins the outcome of invocation i to
+	// Script[i] for i < len(Script); later invocations fall back to the
+	// seeded rates. Test scenarios use it to force exact sequences.
+	Script []Outcome
+}
+
+// Active reports whether the plan can inject anything at all. An inactive
+// plan is behaviourally identical to no fault injection, which is how the
+// epsilon-zero "no faults => no behavior change" property is kept exact.
+func (p Plan) Active() bool {
+	return p.ErrorRate > 0 || p.StragglerRate > 0 || p.ColdSpikeRate > 0 ||
+		p.DecideErrorRate > 0 || len(p.Script) > 0
+}
+
+// stragglerFactor returns the configured factor with its default applied.
+func (p Plan) stragglerFactor() float64 {
+	if p.StragglerFactor > 0 {
+		return p.StragglerFactor
+	}
+	return 4
+}
+
+// coldSpikeS returns the configured spike with its default applied.
+func (p Plan) coldSpikeS() float64 {
+	if p.ColdSpikeS > 0 {
+		return p.ColdSpikeS
+	}
+	return 1
+}
+
+// Draw streams: each fault dimension reads an independent uniform so that,
+// e.g., raising the error rate never perturbs which invocations straggle.
+const (
+	streamError = iota
+	streamStraggler
+	streamColdSpike
+	streamDecide
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a bijective
+// avalanche hash, the standard seed-spreading primitive.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Injector derives per-invocation fault outcomes from a Plan. It is
+// stateless and safe for concurrent use: Outcome(i) depends only on the
+// plan, never on call order.
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector returns an injector over the plan.
+func NewInjector(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Active reports whether the injector can inject anything.
+func (in *Injector) Active() bool { return in.plan.Active() }
+
+// uniform returns the stream-th uniform in [0, 1) of invocation i — a pure
+// function of (seed, i, stream).
+func (in *Injector) uniform(i uint64, stream uint64) float64 {
+	x := splitmix64(splitmix64(uint64(in.plan.Seed)^(i*0x9e3779b97f4a7c15)) ^ (stream * 0xda942042e4dd58b5))
+	return float64(x>>11) / (1 << 53)
+}
+
+// Outcome returns the fault outcome of backend invocation i. Scripted
+// entries win for i < len(Script); beyond the script the seeded rates
+// apply.
+func (in *Injector) Outcome(i uint64) Outcome {
+	p := in.plan
+	if i < uint64(len(p.Script)) {
+		return p.Script[i]
+	}
+	var o Outcome
+	if p.ErrorRate > 0 && in.uniform(i, streamError) < p.ErrorRate {
+		o.Err = true
+		return o
+	}
+	if p.StragglerRate > 0 && in.uniform(i, streamStraggler) < p.StragglerRate {
+		o.StragglerFactor = p.stragglerFactor()
+	}
+	if p.ColdSpikeRate > 0 && in.uniform(i, streamColdSpike) < p.ColdSpikeRate {
+		o.ColdSpikeS = p.coldSpikeS()
+	}
+	return o
+}
+
+// DecideErr reports whether decision i fails.
+func (in *Injector) DecideErr(i uint64) bool {
+	p := in.plan
+	return p.DecideErrorRate > 0 && in.uniform(i, streamDecide) < p.DecideErrorRate
+}
+
+// Schedule materializes the first n outcomes — the harness uses it to
+// compute expected retry/failure counts from the same pure function the
+// backend consumes.
+func (in *Injector) Schedule(n int) []Outcome {
+	out := make([]Outcome, n)
+	for i := range out {
+		out[i] = in.Outcome(uint64(i))
+	}
+	return out
+}
+
+// Retry is the shared retry policy: Max retries after the first attempt,
+// with exponential backoff from BaseS doubling per retry and capped at
+// CapS (seconds). The zero value disables retries. Both the gateway (real
+// time, with jitter layered on top) and qsim (simulated time, jitter-free)
+// apply the same bounds.
+type Retry struct {
+	Max   int
+	BaseS float64
+	CapS  float64
+}
+
+// BackoffS returns the deterministic backoff in seconds before retry
+// attempt (0-based; the first retry waits BackoffS(0)).
+func (r Retry) BackoffS(attempt int) float64 {
+	if r.BaseS <= 0 {
+		return 0
+	}
+	b := math.Ldexp(r.BaseS, attempt) // BaseS * 2^attempt, exactly
+	if r.CapS > 0 && b > r.CapS {
+		b = r.CapS
+	}
+	return b
+}
+
+// Backend matches gateway.Backend structurally: one batched invocation
+// under a configuration, returning duration, USD cost, and an error.
+// Declaring it here (rather than importing the gateway) keeps the
+// dependency arrow pointing from the serving layer to the fault model.
+type Backend interface {
+	Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error)
+}
+
+// FaultyBackend wraps a Backend with injected faults: errors replace the
+// invocation, stragglers and cold-start spikes inflate the reported
+// duration (and the re-billed cost when Pricing is set). Each Execute call
+// consumes one invocation index from an atomic counter, so concurrent
+// callers draw disjoint outcomes.
+type FaultyBackend struct {
+	Inner Backend
+	Inj   *Injector
+	// Pricing, when non-nil, re-bills the invocation at the inflated
+	// duration, mirroring AWS billing slow invocations for their real
+	// runtime. When nil the inner backend's cost is reported unchanged.
+	Pricing *lambda.Pricing
+	// TimeScale, when > 0, sleeps for the injected extra latency scaled by
+	// this factor — wall-clock realism for live chaos demos. Tests leave
+	// it 0 so nothing sleeps.
+	TimeScale float64
+
+	next atomic.Uint64
+}
+
+// Invocations returns how many invocation indices have been consumed.
+func (f *FaultyBackend) Invocations() uint64 { return f.next.Load() }
+
+// Execute implements Backend (and, structurally, gateway.Backend).
+func (f *FaultyBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error) {
+	i := f.next.Add(1) - 1
+	o := f.Inj.Outcome(i)
+	if o.Err {
+		return 0, 0, &InjectedError{Invocation: i}
+	}
+	dur, cost, err := f.Inner.Execute(cfg, batchSize)
+	if err != nil {
+		return dur, cost, err
+	}
+	extra := time.Duration(0)
+	if o.StragglerFactor > 0 {
+		extra += time.Duration(float64(dur) * (o.StragglerFactor - 1))
+	}
+	if o.ColdSpikeS > 0 {
+		extra += time.Duration(o.ColdSpikeS * float64(time.Second))
+	}
+	if extra > 0 {
+		dur += extra
+		if f.Pricing != nil {
+			cost = f.Pricing.InvocationCost(cfg.MemoryMB, dur.Seconds())
+		}
+		if f.TimeScale > 0 {
+			time.Sleep(time.Duration(float64(extra) * f.TimeScale))
+		}
+	}
+	return dur, cost, nil
+}
+
+// WrapDecide makes a decision function fallible: decision i errors with a
+// typed InjectedDecideError whenever the plan's DecideErrorRate stream
+// fires. The unnamed func type keeps it assignable to gateway.DecideFunc
+// without a conversion.
+func (in *Injector) WrapDecide(inner func(window []float64) (lambda.Config, error)) func(window []float64) (lambda.Config, error) {
+	var n atomic.Uint64
+	return func(window []float64) (lambda.Config, error) {
+		i := n.Add(1) - 1
+		if in.DecideErr(i) {
+			return lambda.Config{}, &InjectedDecideError{Decision: i}
+		}
+		return inner(window)
+	}
+}

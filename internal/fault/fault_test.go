@@ -1,0 +1,322 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"deepbat/internal/lambda"
+)
+
+func planAllFaults() Plan {
+	return Plan{
+		Seed:            7,
+		ErrorRate:       0.2,
+		StragglerRate:   0.3,
+		StragglerFactor: 3,
+		ColdSpikeRate:   0.1,
+		ColdSpikeS:      0.5,
+		DecideErrorRate: 0.25,
+	}
+}
+
+// TestOutcomePure pins the central contract: Outcome(i) is a pure function
+// of (Plan, i), independent of call order and of other injector instances.
+func TestOutcomePure(t *testing.T) {
+	a := NewInjector(planAllFaults())
+	b := NewInjector(planAllFaults())
+	// Query b in reverse order and interleaved with decide draws.
+	for i := 511; i >= 0; i-- {
+		b.DecideErr(uint64(i))
+		if got, want := b.Outcome(uint64(i)), a.Outcome(uint64(i)); got != want {
+			t.Fatalf("outcome(%d) differs across instances/orders: %+v vs %+v", i, got, want)
+		}
+	}
+	sched := a.Schedule(512)
+	for i, o := range sched {
+		if o != a.Outcome(uint64(i)) {
+			t.Fatalf("Schedule[%d] != Outcome(%d)", i, i)
+		}
+	}
+}
+
+// TestOutcomeSeedSensitivity: different seeds give different schedules.
+func TestOutcomeSeedSensitivity(t *testing.T) {
+	p := planAllFaults()
+	a := NewInjector(p)
+	p.Seed = 8
+	b := NewInjector(p)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Outcome(uint64(i)) == b.Outcome(uint64(i)) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seed change did not change the schedule")
+	}
+}
+
+// TestOutcomeRates checks the empirical fault frequencies track the plan's
+// rates over a long schedule.
+func TestOutcomeRates(t *testing.T) {
+	const n = 20000
+	in := NewInjector(planAllFaults())
+	var errs, strag, cold int
+	for i := 0; i < n; i++ {
+		o := in.Outcome(uint64(i))
+		if o.Err {
+			errs++
+			if !o.Clean() == true && (o.StragglerFactor > 0 || o.ColdSpikeS > 0) {
+				t.Fatal("errored invocation also straggles or spikes")
+			}
+			continue
+		}
+		if o.StragglerFactor > 0 {
+			strag++
+			if o.StragglerFactor != 3 {
+				t.Fatalf("straggler factor = %v, want 3", o.StragglerFactor)
+			}
+		}
+		if o.ColdSpikeS > 0 {
+			cold++
+			if o.ColdSpikeS != 0.5 {
+				t.Fatalf("cold spike = %v, want 0.5", o.ColdSpikeS)
+			}
+		}
+	}
+	within := func(name string, got int, rate, of float64) {
+		t.Helper()
+		want := rate * of
+		if math.Abs(float64(got)-want) > 0.1*want+50 {
+			t.Fatalf("%s = %d, want about %.0f", name, got, want)
+		}
+	}
+	within("errors", errs, 0.2, n)
+	// Straggler/cold-spike rates apply to non-errored invocations.
+	within("stragglers", strag, 0.3, float64(n-errs))
+	within("cold spikes", cold, 0.1, float64(n-errs))
+
+	var decides int
+	for i := 0; i < n; i++ {
+		if in.DecideErr(uint64(i)) {
+			decides++
+		}
+	}
+	within("decide errors", decides, 0.25, n)
+}
+
+// TestStreamsIndependent: raising the error rate must not change which of
+// the surviving invocations straggle.
+func TestStreamsIndependent(t *testing.T) {
+	base := Plan{Seed: 3, StragglerRate: 0.5}
+	with := base
+	with.ErrorRate = 0.5
+	a, b := NewInjector(base), NewInjector(with)
+	for i := 0; i < 1000; i++ {
+		ob := b.Outcome(uint64(i))
+		if ob.Err {
+			continue
+		}
+		if oa := a.Outcome(uint64(i)); oa.StragglerFactor != ob.StragglerFactor {
+			t.Fatalf("invocation %d straggler changed when the error stream was enabled", i)
+		}
+	}
+}
+
+func TestScriptOverridesThenFallsBack(t *testing.T) {
+	p := Plan{Seed: 1, Script: []Outcome{{Err: true}, {}, {StragglerFactor: 2}}}
+	in := NewInjector(p)
+	if !in.Outcome(0).Err || in.Outcome(1).Err || in.Outcome(2).StragglerFactor != 2 {
+		t.Fatalf("script not honored: %+v", in.Schedule(3))
+	}
+	// Beyond the script, rates (all zero here) apply: clean forever.
+	for i := 3; i < 32; i++ {
+		if o := in.Outcome(uint64(i)); !o.Clean() {
+			t.Fatalf("outcome(%d) = %+v beyond an all-zero-rate script", i, o)
+		}
+	}
+}
+
+func TestActiveAndDefaults(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Fatal("zero plan must be inactive")
+	}
+	for _, p := range []Plan{
+		{ErrorRate: 0.1}, {StragglerRate: 0.1}, {ColdSpikeRate: 0.1},
+		{DecideErrorRate: 0.1}, {Script: []Outcome{{}}},
+	} {
+		if !p.Active() {
+			t.Fatalf("plan %+v should be active", p)
+		}
+	}
+	if NewInjector(Plan{}).Active() {
+		t.Fatal("injector over a zero plan must be inactive")
+	}
+	// Defaults: factor 4, spike 1 s.
+	in := NewInjector(Plan{Seed: 5, StragglerRate: 1, ColdSpikeRate: 1})
+	o := in.Outcome(0)
+	if o.StragglerFactor != 4 || o.ColdSpikeS != 1 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if got := NewInjector(Plan{Seed: 5}).Plan().Seed; got != 5 {
+		t.Fatalf("Plan() seed = %d", got)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	if got := (Retry{}).BackoffS(3); got != 0 {
+		t.Fatalf("zero retry backoff = %v", got)
+	}
+	r := Retry{Max: 5, BaseS: 0.01, CapS: 0.05}
+	want := []float64{0.01, 0.02, 0.04, 0.05, 0.05}
+	for i, w := range want {
+		if got := r.BackoffS(i); got != w {
+			t.Fatalf("BackoffS(%d) = %v, want %v", i, got, w)
+		}
+	}
+	uncapped := Retry{Max: 2, BaseS: 0.5}
+	if got := uncapped.BackoffS(4); got != 8 {
+		t.Fatalf("uncapped BackoffS(4) = %v, want 8", got)
+	}
+}
+
+// instantBackend is a deterministic inner backend for wrapper tests.
+type instantBackend struct {
+	dur  time.Duration
+	cost float64
+	err  error
+}
+
+func (b instantBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error) {
+	return b.dur, b.cost, b.err
+}
+
+func TestFaultyBackendCleanPassthrough(t *testing.T) {
+	fb := &FaultyBackend{Inner: instantBackend{dur: time.Second, cost: 2}, Inj: NewInjector(Plan{})}
+	dur, cost, err := fb.Execute(lambda.Config{MemoryMB: 1024, BatchSize: 1}, 1)
+	if err != nil || dur != time.Second || cost != 2 {
+		t.Fatalf("clean passthrough = (%v, %v, %v)", dur, cost, err)
+	}
+	if fb.Invocations() != 1 {
+		t.Fatalf("invocations = %d", fb.Invocations())
+	}
+}
+
+func TestFaultyBackendInjectsTypedError(t *testing.T) {
+	fb := &FaultyBackend{
+		Inner: instantBackend{dur: time.Second, cost: 2},
+		Inj:   NewInjector(Plan{Script: []Outcome{{Err: true}, {}}}),
+	}
+	_, _, err := fb.Execute(lambda.Config{MemoryMB: 1024, BatchSize: 1}, 1)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Invocation != 0 {
+		t.Fatalf("typed error = %#v", err)
+	}
+	if ie.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	if _, _, err := fb.Execute(lambda.Config{MemoryMB: 1024, BatchSize: 1}, 1); err != nil {
+		t.Fatalf("second invocation should pass: %v", err)
+	}
+}
+
+func TestFaultyBackendInnerErrorPassthrough(t *testing.T) {
+	boom := errors.New("inner boom")
+	fb := &FaultyBackend{Inner: instantBackend{err: boom}, Inj: NewInjector(Plan{})}
+	if _, _, err := fb.Execute(lambda.Config{MemoryMB: 1024, BatchSize: 1}, 1); !errors.Is(err, boom) {
+		t.Fatalf("inner error not passed through: %v", err)
+	}
+}
+
+func TestFaultyBackendInflatesAndRebills(t *testing.T) {
+	pricing := lambda.DefaultPricing()
+	inner := instantBackend{dur: time.Second, cost: pricing.InvocationCost(2048, 1)}
+	fb := &FaultyBackend{
+		Inner:   inner,
+		Inj:     NewInjector(Plan{Script: []Outcome{{StragglerFactor: 3, ColdSpikeS: 0.5}}}),
+		Pricing: &pricing,
+	}
+	dur, cost, err := fb.Execute(lambda.Config{MemoryMB: 2048, BatchSize: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*time.Second + 500*time.Millisecond
+	if dur != want {
+		t.Fatalf("inflated duration = %v, want %v", dur, want)
+	}
+	if wantCost := pricing.InvocationCost(2048, want.Seconds()); cost != wantCost {
+		t.Fatalf("re-billed cost = %v, want %v", cost, wantCost)
+	}
+	// Without Pricing the inner cost is reported unchanged.
+	fb2 := &FaultyBackend{
+		Inner: inner,
+		Inj:   NewInjector(Plan{Script: []Outcome{{ColdSpikeS: 1}}}),
+	}
+	if _, cost2, _ := fb2.Execute(lambda.Config{MemoryMB: 2048, BatchSize: 1}, 1); cost2 != inner.cost {
+		t.Fatalf("cost changed without Pricing: %v", cost2)
+	}
+}
+
+func TestFaultyBackendTimeScaleSleeps(t *testing.T) {
+	fb := &FaultyBackend{
+		Inner:     instantBackend{},
+		Inj:       NewInjector(Plan{Script: []Outcome{{ColdSpikeS: 1}}}),
+		TimeScale: 0.002, // 1 s spike -> 2 ms sleep
+	}
+	start := time.Now()
+	if _, _, err := fb.Execute(lambda.Config{MemoryMB: 1024, BatchSize: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("TimeScale did not sleep for the injected latency")
+	}
+}
+
+func TestWrapDecide(t *testing.T) {
+	in := NewInjector(Plan{Seed: 2, DecideErrorRate: 1})
+	calls := 0
+	wrapped := in.WrapDecide(func(window []float64) (lambda.Config, error) {
+		calls++
+		return lambda.Config{MemoryMB: 2048, BatchSize: 1}, nil
+	})
+	_, err := wrapped([]float64{0.1})
+	if !errors.Is(err, ErrInjectedDecide) {
+		t.Fatalf("err = %v, want ErrInjectedDecide", err)
+	}
+	var de *InjectedDecideError
+	if !errors.As(err, &de) || de.Decision != 0 || de.Error() == "" {
+		t.Fatalf("typed decide error = %#v", err)
+	}
+	if calls != 0 {
+		t.Fatal("inner decide called despite injected error")
+	}
+	clean := NewInjector(Plan{Seed: 2}).WrapDecide(func(window []float64) (lambda.Config, error) {
+		calls++
+		return lambda.Config{MemoryMB: 2048, BatchSize: 1}, nil
+	})
+	if cfg, err := clean([]float64{0.1}); err != nil || calls != 1 || !cfg.Valid() {
+		t.Fatalf("clean wrapper = (%v, %v), calls = %d", cfg, err, calls)
+	}
+}
+
+// TestUniformRange: draws stay in [0, 1) and are well spread.
+func TestUniformRange(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9})
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		u := in.uniform(uint64(i), streamError)
+		if u < 0 || u >= 1 {
+			t.Fatalf("uniform out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("uniform mean = %v, want about 0.5", mean)
+	}
+}

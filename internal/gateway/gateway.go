@@ -7,16 +7,29 @@
 // (the DeepBAT optimizer, or any other controller) and live-reconfigures
 // (M, B, T).
 //
+// The serving path is resilient to backend and controller faults
+// (internal/fault is the matching injection layer): failed invocations are
+// retried with capped exponential backoff and jitter from an injected PRNG,
+// per-request deadlines fail fast with a typed error, a consecutive-failure
+// circuit breaker sheds to a configurable safe fallback configuration, and
+// Decide errors degrade gracefully to the last good configuration. All
+// latency, deadline, and breaker accounting reads an injected obs.Clock, so
+// the chaos-test harness (internal/fault/faulttest) can drive the gateway on
+// a manual clock and assert bit-identical behaviour across same-seed runs.
+//
 // Every gateway carries an obs.Registry and obs.Recorder: per-request
-// latency/cost/violation series, dispatch-cause counters, and
-// reconfiguration events, exposed in Prometheus text format at /metrics and
-// as a JSON snapshot at /metrics.json (see the README metric reference).
+// latency/cost/violation series, dispatch-cause counters, retry/shed/breaker
+// series, and reconfiguration events, exposed in Prometheus text format at
+// /metrics and as a JSON snapshot at /metrics.json (see the README metric
+// reference).
 package gateway
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -28,15 +41,18 @@ import (
 )
 
 // Backend executes one batched invocation under a configuration and returns
-// its duration and USD cost. Implementations may block for the duration
-// (real platforms) or return immediately (simulations).
+// its duration, USD cost, and an error when the invocation failed.
+// Implementations may block for the duration (real platforms) or return
+// immediately (simulations). A returned error counts as a failed attempt
+// against the gateway's retry budget and circuit breaker.
 type Backend interface {
-	Execute(cfg lambda.Config, batchSize int) (time.Duration, float64)
+	Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error)
 }
 
 // SimulatedBackend models AWS Lambda: deterministic service times from a
 // profile, the pay-as-you-go pricing, and an optional wall-clock scale (1.0
-// sleeps for the real duration; 0 returns instantly).
+// sleeps for the real duration; 0 returns instantly). It never fails; wrap
+// it in a fault.FaultyBackend to inject errors.
 type SimulatedBackend struct {
 	Profile   lambda.Profile
 	Pricing   lambda.Pricing
@@ -44,17 +60,83 @@ type SimulatedBackend struct {
 }
 
 // Execute implements Backend.
-func (s SimulatedBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64) {
+func (s SimulatedBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error) {
 	svc := s.Profile.ServiceTime(cfg.MemoryMB, batchSize)
 	if s.TimeScale > 0 {
 		time.Sleep(time.Duration(svc * s.TimeScale * float64(time.Second)))
 	}
-	return time.Duration(svc * float64(time.Second)), s.Pricing.InvocationCost(cfg.MemoryMB, svc)
+	return time.Duration(svc * float64(time.Second)), s.Pricing.InvocationCost(cfg.MemoryMB, svc), nil
 }
 
 // DecideFunc maps the recent interarrival window (seconds) to a new
 // configuration.
 type DecideFunc func(window []float64) (lambda.Config, error)
+
+// Typed serving errors, surfaced to clients in Response.Error (and mapped to
+// HTTP 504/502 by the /infer handler).
+var (
+	// ErrDeadlineExceeded fails a request whose per-request deadline
+	// passed before its batch executed.
+	ErrDeadlineExceeded = errors.New("gateway: request deadline exceeded")
+	// ErrBackendFailed fails a batch whose retry budget was exhausted.
+	ErrBackendFailed = errors.New("gateway: backend failed after retries")
+)
+
+// BreakerState enumerates the circuit-breaker states, in the order the
+// gateway_breaker_state gauge reports them.
+type BreakerState int
+
+// The breaker state machine: Closed --threshold consecutive failures-->
+// Open --cooldown--> HalfOpen --probe success--> Closed (probe failure
+// reopens).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Resilience configures the gateway's failure handling. The zero value
+// disables everything: no retries, no deadlines, no breaker — the behaviour
+// of the pre-resilience gateway.
+type Resilience struct {
+	// MaxRetries is how many times a failed batch invocation is retried
+	// before the batch fails with ErrBackendFailed (0 = no retries).
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// retry and is capped at RetryMax. Zero retries immediately.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Jitter, when non-nil, is the PRNG backoff jitter is drawn from:
+	// each wait is scaled by a uniform factor in [0.5, 1). nil disables
+	// jitter, making backoff fully deterministic.
+	Jitter *rand.Rand
+	// RequestTimeoutS is the per-request deadline in clock seconds
+	// (0 = none). A request whose deadline passes before its batch
+	// executes — or between retries — fails fast with ErrDeadlineExceeded
+	// instead of holding the batch.
+	RequestTimeoutS float64
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive failed invocation attempts (0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldownS is how long (clock seconds) the breaker stays open
+	// before admitting a half-open probe on the active configuration.
+	BreakerCooldownS float64
+	// Fallback is the safe configuration batches are served under while
+	// the breaker is open; the zero value falls back to Config.Initial.
+	Fallback lambda.Config
+}
 
 // Config parameterizes a Gateway.
 type Config struct {
@@ -62,7 +144,8 @@ type Config struct {
 	Initial lambda.Config
 	// SLO is the latency objective used for violation accounting.
 	SLO float64
-	// DecideEvery is the control period; zero disables reconfiguration.
+	// DecideEvery is the control period; zero disables the periodic loop
+	// (decisions can still be forced with DecideNow).
 	DecideEvery time.Duration
 	// WindowLen is the number of interarrivals handed to Decide.
 	WindowLen int
@@ -73,6 +156,12 @@ type Config struct {
 	// EventCap bounds the reconfiguration/error event stream
 	// (0 = obs.DefaultRecorderCap).
 	EventCap int
+	// Clock supplies the timestamps used for latency, deadline, and
+	// breaker accounting (nil = wall clock). The chaos harness injects an
+	// obs.ManualClock to make whole runs bit-deterministic.
+	Clock obs.Clock
+	// Resilience configures retries, deadlines, and the circuit breaker.
+	Resilience Resilience
 }
 
 // Stats is the JSON document served at /stats.
@@ -84,21 +173,35 @@ type Stats struct {
 	P95LatencyMS     float64       `json:"p95_latency_ms"`
 	TotalCostUSD     float64       `json:"total_cost_usd"`
 	Config           lambda.Config `json:"config"`
+	// Resilience accounting. Served counts successfully answered
+	// requests only; failures and deadline expiries are broken out here.
+	Retries         int    `json:"retries"`
+	BackendFailures int    `json:"backend_failures"`
+	FailedRequests  int    `json:"failed_requests"`
+	DeadlineExpired int    `json:"deadline_expired"`
+	Shed            int    `json:"shed"`
+	BreakerOpens    int    `json:"breaker_opens"`
+	BreakerState    string `json:"breaker_state"`
+	DecideErrors    int    `json:"decide_errors"`
 }
 
-// inferResponse is the JSON answer to one inference request.
-type inferResponse struct {
+// Response is the JSON answer to one inference request. Error is empty on
+// success; on failure it carries the typed error string
+// (ErrDeadlineExceeded, ErrBackendFailed) and the latency/cost fields
+// reflect the time spent before giving up.
+type Response struct {
 	ID        int     `json:"id"`
 	BatchSize int     `json:"batch_size"`
 	LatencyMS float64 `json:"latency_ms"`
 	CostUSD   float64 `json:"cost_usd"`
 	Config    string  `json:"config"`
+	Error     string  `json:"error,omitempty"`
 }
 
 type waiter struct {
 	id       int
-	arriveAt time.Time
-	done     chan inferResponse
+	arriveAt float64 // clock seconds
+	done     chan Response
 }
 
 // dispatch causes, as recorded in the gateway_dispatch_*_total counters.
@@ -121,7 +224,14 @@ type metrics struct {
 	dispatch    map[string]*obs.Counter // by cause
 	reconfigs   *obs.Counter
 	decideErrs  *obs.Counter
+	retries     *obs.Counter
+	failures    *obs.Counter
+	failedReqs  *obs.Counter
+	expired     *obs.Counter
+	shed        *obs.Counter
+	brOpens     *obs.Counter
 	pending     *obs.Gauge
+	brState     *obs.Gauge
 	cfgMemory   *obs.Gauge
 	cfgBatch    *obs.Gauge
 	cfgTimeout  *obs.Gauge
@@ -143,6 +253,12 @@ func newMetrics(reg *obs.Registry) (*metrics, error) {
 	register(&m.invocations, "gateway_invocations_total", "backend invocations executed")
 	register(&m.reconfigs, "gateway_reconfigurations_total", "control-loop configuration changes applied")
 	register(&m.decideErrs, "gateway_decide_errors_total", "control-loop decisions that failed or were invalid")
+	register(&m.retries, "gateway_retries_total", "backend invocation retries")
+	register(&m.failures, "gateway_backend_failures_total", "failed backend invocation attempts")
+	register(&m.failedReqs, "gateway_failed_requests_total", "requests answered with an error after retry exhaustion")
+	register(&m.expired, "gateway_deadline_expired_total", "requests failed fast at their per-request deadline")
+	register(&m.shed, "gateway_shed_total", "requests served under the fallback configuration while the breaker was open")
+	register(&m.brOpens, "gateway_breaker_opens_total", "circuit-breaker open transitions")
 	for _, cause := range []string{causeSize, causeTimeout, causeImmediate, causeFlush} {
 		c := cause
 		var dst *obs.Counter
@@ -166,6 +282,7 @@ func newMetrics(reg *obs.Registry) (*metrics, error) {
 		}
 	}
 	gauge(&m.pending, "gateway_pending_requests", "requests waiting in the open batch")
+	gauge(&m.brState, "gateway_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)")
 	gauge(&m.cfgMemory, "gateway_config_memory_mb", "active configuration: function memory (MB)")
 	gauge(&m.cfgBatch, "gateway_config_batch_size", "active configuration: batch size B")
 	gauge(&m.cfgTimeout, "gateway_config_timeout_seconds", "active configuration: batch timeout T (s)")
@@ -188,24 +305,39 @@ type Gateway struct {
 	backend Backend
 	decide  DecideFunc
 	conf    Config
+	clock   obs.Clock
 	obs     *obs.Registry
 	rec     *obs.Recorder
 	met     *metrics
 
-	mu        sync.Mutex
-	started   bool
-	stopped   bool
-	cfg       lambda.Config
-	pending   []waiter
-	batchCfg  lambda.Config // parameters captured when the open batch started
-	timer     *time.Timer
-	parser    *core.WorkloadParser
-	lastID    int
-	served    int
-	invoked   int
-	reconfigs int
-	latencies []float64
-	totalCost float64
+	// jmu guards the backoff jitter PRNG (conf.Resilience.Jitter), which
+	// concurrent batch executions share.
+	jmu sync.Mutex
+
+	mu         sync.Mutex
+	started    bool
+	stopped    bool
+	cfg        lambda.Config
+	pending    []waiter
+	batchCfg   lambda.Config // parameters captured when the open batch started
+	timer      *time.Timer
+	parser     *core.WorkloadParser
+	lastID     int
+	served     int
+	invoked    int
+	reconfigs  int
+	latencies  []float64
+	totalCost  float64
+	retries    int
+	failures   int
+	failed     int
+	expired    int
+	shed       int
+	brOpens    int
+	decideErrs int
+	brState    BreakerState
+	brFails    int     // consecutive failed invocation attempts
+	brOpenedAt float64 // clock seconds of the last open transition
 
 	stop    chan struct{}
 	loopWG  sync.WaitGroup // control loop
@@ -229,12 +361,17 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gateway: registering metrics: %w", err)
 	}
+	clock := conf.Clock
+	if clock == nil {
+		clock = obs.NewWallClock()
+	}
 	g := &Gateway{
 		backend: backend,
 		decide:  decide,
 		conf:    conf,
+		clock:   clock,
 		obs:     reg,
-		rec:     obs.NewRecorder(obs.NewWallClock(), conf.EventCap),
+		rec:     obs.NewRecorder(clock, conf.EventCap),
 		met:     met,
 		cfg:     conf.Initial,
 		parser:  core.NewWorkloadParser(conf.WindowLen),
@@ -263,7 +400,8 @@ func (g *Gateway) Start() {
 
 // Stop shuts the gateway down: it stops the control loop, flushes any
 // buffered requests, and joins every goroutine the gateway spawned — the
-// control loop, in-flight batch executions, and armed batch timers. It is
+// control loop, in-flight batch executions (whose remaining retry backoffs
+// are skipped once stop is signalled), and armed batch timers. It is
 // idempotent. Callers should drain their HTTP server first, so no new
 // requests arrive concurrently with the shutdown.
 func (g *Gateway) Stop() {
@@ -296,7 +434,7 @@ func (g *Gateway) Close() { g.Stop() }
 func (g *Gateway) Obs() *obs.Registry { return g.obs }
 
 // Events returns the gateway's event recorder (reconfigurations, decide
-// errors, stop).
+// errors, retries, breaker transitions, stop).
 func (g *Gateway) Events() *obs.Recorder { return g.rec }
 
 // controlLoop periodically re-optimizes from the parser's window.
@@ -310,31 +448,55 @@ func (g *Gateway) controlLoop() {
 			return
 		case <-ticker.C:
 		}
-		g.mu.Lock()
-		full := g.parser.Full()
-		window := g.parser.Window()
-		g.mu.Unlock()
-		if !full {
-			continue
-		}
-		cfg, err := g.decide(window)
-		if err != nil || !cfg.Valid() {
-			g.met.decideErrs.Inc()
-			g.rec.Event("decide_error")
-			continue
-		}
-		g.mu.Lock()
-		if cfg != g.cfg {
-			old := g.cfg
-			g.cfg = cfg
-			g.reconfigs++
-			g.met.reconfigs.Inc()
-			g.met.setConfig(cfg)
-			g.rec.Event("reconfigure",
-				obs.S("from", old.String()), obs.S("to", cfg.String()))
-		}
-		g.mu.Unlock()
+		g.decideOnce()
 	}
+}
+
+// DecideNow forces one synchronous control decision outside the periodic
+// loop — an operational hook, and the chaos harness's deterministic way to
+// drive the controller. It is a no-op without a decide function or before
+// the interarrival window has filled.
+func (g *Gateway) DecideNow() {
+	if g.decide != nil {
+		g.decideOnce()
+	}
+}
+
+// decideOnce runs one decision cycle. Decide errors degrade gracefully: the
+// last good configuration stays active, the failure is counted, and a
+// decide_error event carries the reason.
+func (g *Gateway) decideOnce() {
+	g.mu.Lock()
+	full := g.parser.Full()
+	window := g.parser.Window()
+	g.mu.Unlock()
+	if !full {
+		return
+	}
+	cfg, err := g.decide(window)
+	if err != nil || !cfg.Valid() {
+		reason := "invalid configuration " + cfg.String()
+		if err != nil {
+			reason = err.Error()
+		}
+		g.met.decideErrs.Inc()
+		g.mu.Lock()
+		g.decideErrs++
+		g.mu.Unlock()
+		g.rec.Event("decide_error", obs.S("error", reason))
+		return
+	}
+	g.mu.Lock()
+	if cfg != g.cfg {
+		old := g.cfg
+		g.cfg = cfg
+		g.reconfigs++
+		g.met.reconfigs.Inc()
+		g.met.setConfig(cfg)
+		g.rec.Event("reconfigure",
+			obs.S("from", old.String()), obs.S("to", cfg.String()))
+	}
+	g.mu.Unlock()
 }
 
 // Config returns the active configuration.
@@ -342,6 +504,37 @@ func (g *Gateway) Config() lambda.Config {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.cfg
+}
+
+// Stats returns the current stats document (the body of GET /stats).
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p95, _ := stats.Percentile(g.latencies, 95)
+	return Stats{
+		Served:           g.served,
+		Invocations:      g.invoked,
+		Reconfigurations: g.reconfigs,
+		VCRPercent:       stats.VCR(g.latencies, g.conf.SLO),
+		P95LatencyMS:     p95 * 1000,
+		TotalCostUSD:     g.totalCost,
+		Config:           g.cfg,
+		Retries:          g.retries,
+		BackendFailures:  g.failures,
+		FailedRequests:   g.failed,
+		DeadlineExpired:  g.expired,
+		Shed:             g.shed,
+		BreakerOpens:     g.brOpens,
+		BreakerState:     g.brState.String(),
+		DecideErrors:     g.decideErrs,
+	}
+}
+
+// Breaker returns the current circuit-breaker state.
+func (g *Gateway) Breaker() BreakerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.brState
 }
 
 // Handler returns the HTTP mux: POST /infer, GET /stats, GET /config,
@@ -362,10 +555,17 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	done := g.enqueue(time.Now())
+	done := g.Enqueue()
 	select {
 	case resp := <-done:
 		w.Header().Set("Content-Type", "application/json")
+		switch resp.Error {
+		case "":
+		case ErrDeadlineExceeded.Error():
+			w.WriteHeader(http.StatusGatewayTimeout)
+		default:
+			w.WriteHeader(http.StatusBadGateway)
+		}
 		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			// The response was already committed; nothing sensible to do.
 			return
@@ -376,12 +576,15 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// enqueue registers an arrival and returns its completion channel.
-func (g *Gateway) enqueue(now time.Time) chan inferResponse {
+// Enqueue submits one inference request, stamped with the gateway clock,
+// and returns its completion channel — the programmatic equivalent of
+// POST /infer, used by the HTTP handler and the chaos harness alike.
+func (g *Gateway) Enqueue() <-chan Response {
+	now := g.clock.Now()
 	g.mu.Lock()
 	g.lastID++
-	g.parser.Observe(float64(now.UnixNano()) / 1e9)
-	wtr := waiter{id: g.lastID, arriveAt: now, done: make(chan inferResponse, 1)}
+	g.parser.Observe(now)
+	wtr := waiter{id: g.lastID, arriveAt: now, done: make(chan Response, 1)}
 	if len(g.pending) == 0 {
 		// Opening a new batch: snapshot the active parameters and arm the
 		// timeout.
@@ -458,13 +661,213 @@ func (g *Gateway) takeBatchLocked() ([]waiter, lambda.Config) {
 	return batch, g.batchCfg
 }
 
-// execute runs a batch on the backend and resolves every waiter.
+// expireBatch fails fast every waiter whose per-request deadline has passed
+// and returns the survivors. It runs before the first attempt and after
+// every retry backoff, so a struggling backend cannot hold requests past
+// their deadline.
+func (g *Gateway) expireBatch(batch []waiter) []waiter {
+	r := g.conf.Resilience
+	if r.RequestTimeoutS <= 0 {
+		return batch
+	}
+	now := g.clock.Now()
+	live := batch[:0]
+	var dead []waiter
+	for _, w := range batch {
+		if now-w.arriveAt > r.RequestTimeoutS {
+			dead = append(dead, w)
+		} else {
+			live = append(live, w)
+		}
+	}
+	if len(dead) == 0 {
+		return batch
+	}
+	g.met.expired.Add(float64(len(dead)))
+	g.mu.Lock()
+	g.expired += len(dead)
+	g.mu.Unlock()
+	g.rec.Event("deadline_expired", obs.I("requests", len(dead)))
+	for _, w := range dead {
+		w.done <- Response{
+			ID:        w.id,
+			LatencyMS: (now - w.arriveAt) * 1000,
+			Error:     ErrDeadlineExceeded.Error(),
+		}
+	}
+	return live
+}
+
+// admit applies the circuit breaker to a batch about to execute: while the
+// breaker is open it substitutes the safe fallback configuration (shedding);
+// once the cooldown has elapsed it transitions to half-open and lets the
+// batch probe the active configuration.
+func (g *Gateway) admit(cfg lambda.Config) (lambda.Config, bool) {
+	r := g.conf.Resilience
+	if r.BreakerThreshold <= 0 {
+		return cfg, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.brState != BreakerOpen {
+		return cfg, false
+	}
+	if g.clock.Now()-g.brOpenedAt >= r.BreakerCooldownS {
+		g.brState = BreakerHalfOpen
+		g.met.brState.Set(float64(BreakerHalfOpen))
+		g.rec.Event("breaker_half_open")
+		return cfg, false
+	}
+	fb := r.Fallback
+	if !fb.Valid() {
+		fb = g.conf.Initial
+	}
+	return fb, true
+}
+
+// noteFailure records one failed invocation attempt against the breaker.
+func (g *Gateway) noteFailure() {
+	g.met.failures.Inc()
+	g.mu.Lock()
+	g.failures++
+	r := g.conf.Resilience
+	if r.BreakerThreshold > 0 {
+		g.brFails++
+		open := false
+		switch g.brState {
+		case BreakerHalfOpen:
+			// Failed probe: reopen immediately.
+			open = true
+		case BreakerClosed:
+			open = g.brFails >= r.BreakerThreshold
+		}
+		if open {
+			g.brState = BreakerOpen
+			g.brOpenedAt = g.clock.Now()
+			g.brOpens++
+			g.met.brOpens.Inc()
+			g.met.brState.Set(float64(BreakerOpen))
+			g.rec.Event("breaker_open", obs.I("consecutive_failures", g.brFails))
+		}
+	}
+	g.mu.Unlock()
+}
+
+// noteSuccess resets the consecutive-failure count and closes the breaker
+// after a successful half-open probe.
+func (g *Gateway) noteSuccess() {
+	if g.conf.Resilience.BreakerThreshold <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.brFails = 0
+	if g.brState == BreakerHalfOpen {
+		g.brState = BreakerClosed
+		g.met.brState.Set(float64(BreakerClosed))
+		g.rec.Event("breaker_close")
+	}
+	g.mu.Unlock()
+}
+
+// backoff returns the wait before retry attempt (0-based): exponential from
+// RetryBase, capped at RetryMax, scaled by a jitter factor in [0.5, 1)
+// drawn from the injected PRNG when one is configured.
+func (g *Gateway) backoff(attempt int) time.Duration {
+	r := g.conf.Resilience
+	if r.RetryBase <= 0 {
+		return 0
+	}
+	d := math.Ldexp(float64(r.RetryBase), attempt) // RetryBase * 2^attempt
+	if r.RetryMax > 0 && d > float64(r.RetryMax) {
+		d = float64(r.RetryMax)
+	}
+	if r.Jitter != nil {
+		g.jmu.Lock()
+		d *= 0.5 + 0.5*r.Jitter.Float64()
+		g.jmu.Unlock()
+	}
+	return time.Duration(d)
+}
+
+// sleepInterruptible waits for d or until Stop begins; retries skip their
+// remaining backoff during shutdown so Stop's closing flush stays bounded.
+func (g *Gateway) sleepInterruptible(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-g.stop:
+	}
+}
+
+// failBatch answers every waiter with the given terminal error.
+func (g *Gateway) failBatch(batch []waiter, cause error, attempts int) {
+	now := g.clock.Now()
+	g.met.failedReqs.Add(float64(len(batch)))
+	g.mu.Lock()
+	g.failed += len(batch)
+	g.mu.Unlock()
+	g.rec.Event("batch_failed", obs.I("requests", len(batch)), obs.I("attempts", attempts))
+	for _, w := range batch {
+		w.done <- Response{
+			ID:        w.id,
+			BatchSize: len(batch),
+			LatencyMS: (now - w.arriveAt) * 1000,
+			Error:     cause.Error(),
+		}
+	}
+}
+
+// execute runs a batch on the backend — retrying failures with capped,
+// jittered exponential backoff, expiring per-request deadlines between
+// attempts, and honouring the circuit breaker — then resolves every waiter.
 func (g *Gateway) execute(batch []waiter, cfg lambda.Config, cause string) {
+	if len(batch) == 0 {
+		// Empty-batch race: a timeout flush can lose the race with a
+		// size/flush dispatch that already drained the queue. Never invoke
+		// the backend — or count an invocation — for nothing.
+		return
+	}
 	if cfg.BatchSize == 0 {
 		cfg = g.conf.Initial
 	}
-	dur, cost := g.backend.Execute(cfg, len(batch))
-	finished := time.Now()
+	if batch = g.expireBatch(batch); len(batch) == 0 {
+		return
+	}
+	useCfg, shedding := g.admit(cfg)
+	var dur time.Duration
+	var cost float64
+	attempt := 0
+	for {
+		var err error
+		dur, cost, err = g.backend.Execute(useCfg, len(batch))
+		if err == nil {
+			g.noteSuccess()
+			break
+		}
+		g.noteFailure()
+		if attempt >= g.conf.Resilience.MaxRetries {
+			g.failBatch(batch, ErrBackendFailed, attempt+1)
+			return
+		}
+		wait := g.backoff(attempt)
+		g.met.retries.Inc()
+		g.mu.Lock()
+		g.retries++
+		g.mu.Unlock()
+		g.rec.Event("retry",
+			obs.I("attempt", attempt+1), obs.I("batch", len(batch)),
+			obs.F("backoff_s", wait.Seconds()))
+		g.sleepInterruptible(wait)
+		attempt++
+		if batch = g.expireBatch(batch); len(batch) == 0 {
+			return
+		}
+	}
+	finished := g.clock.Now()
 	per := cost / float64(len(batch))
 	g.met.invocations.Inc()
 	g.met.cost.Add(cost)
@@ -472,24 +875,30 @@ func (g *Gateway) execute(batch []waiter, cfg lambda.Config, cause string) {
 	if c := g.met.dispatch[cause]; c != nil {
 		c.Inc()
 	}
+	if shedding {
+		g.met.shed.Add(float64(len(batch)))
+	}
 	g.mu.Lock()
 	g.invoked++
 	g.totalCost += cost
+	if shedding {
+		g.shed += len(batch)
+	}
 	for _, wtr := range batch {
-		lat := finished.Sub(wtr.arriveAt)
+		lat := finished - wtr.arriveAt
 		g.served++
-		g.latencies = append(g.latencies, lat.Seconds())
+		g.latencies = append(g.latencies, lat)
 		g.met.requests.Inc()
-		g.met.latency.Observe(lat.Seconds())
-		if g.conf.SLO > 0 && lat.Seconds() > g.conf.SLO {
+		g.met.latency.Observe(lat)
+		if g.conf.SLO > 0 && lat > g.conf.SLO {
 			g.met.violations.Inc()
 		}
-		wtr.done <- inferResponse{
+		wtr.done <- Response{
 			ID:        wtr.id,
 			BatchSize: len(batch),
-			LatencyMS: float64(lat) / float64(time.Millisecond),
+			LatencyMS: lat * 1000,
 			CostUSD:   per,
-			Config:    cfg.String(),
+			Config:    useCfg.String(),
 		}
 	}
 	_ = dur
@@ -497,18 +906,7 @@ func (g *Gateway) execute(batch []waiter, cfg lambda.Config, cause string) {
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
-	g.mu.Lock()
-	p95, _ := stats.Percentile(g.latencies, 95)
-	s := Stats{
-		Served:           g.served,
-		Invocations:      g.invoked,
-		Reconfigurations: g.reconfigs,
-		VCRPercent:       stats.VCR(g.latencies, g.conf.SLO),
-		P95LatencyMS:     p95 * 1000,
-		TotalCostUSD:     g.totalCost,
-		Config:           g.cfg,
-	}
-	g.mu.Unlock()
+	s := g.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
 )
 
 func fastBackend() SimulatedBackend {
@@ -20,7 +21,7 @@ func fastBackend() SimulatedBackend {
 	}
 }
 
-func postInfer(t *testing.T, url string) inferResponse {
+func postInfer(t *testing.T, url string) Response {
 	t.Helper()
 	resp, err := http.Post(url+"/infer", "application/json", nil)
 	if err != nil {
@@ -30,7 +31,7 @@ func postInfer(t *testing.T, url string) inferResponse {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var out inferResponse
+	var out Response
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestBatchFillsByCount(t *testing.T) {
 	defer srv.Close()
 
 	var wg sync.WaitGroup
-	results := make([]inferResponse, 4)
+	results := make([]Response, 4)
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -233,7 +234,7 @@ func TestCloseFlushesPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := g.enqueue(time.Now())
+	done := g.Enqueue()
 	g.Close()
 	select {
 	case resp := <-done:
@@ -274,5 +275,34 @@ func TestConcurrentLoad(t *testing.T) {
 	wg.Wait()
 	if served.Load() != n {
 		t.Fatalf("served %d of %d with sane batch sizes", served.Load(), n)
+	}
+}
+
+func TestFlushTimeoutOnEmptyQueueCountsNothing(t *testing.T) {
+	// Regression: a timeout flush can lose the race with a size dispatch
+	// that already drained the queue, leaving flushTimeout (and execute) a
+	// nil batch. That must never reach the backend or the accounting.
+	g, err := New(fastBackend(), nil, Config{
+		Initial: lambda.Config{MemoryMB: 2048, BatchSize: 8, TimeoutS: 30},
+		SLO:     0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.flushTimeout()
+	g.execute(nil, lambda.Config{}, causeTimeout)
+	s := g.Stats()
+	if s.Invocations != 0 || s.Served != 0 {
+		t.Fatalf("empty flush counted work: %+v", s)
+	}
+	if s.TotalCostUSD > 0 {
+		t.Fatalf("empty flush billed cost: %+v", s)
+	}
+	snap := g.Obs().Snapshot()
+	for _, c := range snap.Series {
+		if c.Kind == obs.KindCounter && c.Value > 0 {
+			t.Fatalf("counter %s = %v after empty flush", c.Name, c.Value)
+		}
 	}
 }

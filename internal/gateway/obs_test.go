@@ -161,7 +161,7 @@ func TestDispatchCauseCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := g3.enqueue(time.Now())
+	done := g3.Enqueue()
 	g3.Stop()
 	<-done
 	c, err := g3.Obs().Counter("gateway_dispatch_flush_total", "")

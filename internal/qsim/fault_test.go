@@ -1,0 +1,195 @@
+package qsim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"deepbat/internal/fault"
+	"deepbat/internal/obs"
+)
+
+// TestFaultRateZeroIsBitIdentical is the no-fault ⇒ no-behavior-change
+// property: a nil plan, an inactive (all-zero) plan, and the pre-fault code
+// path must produce bit-identical Results and byte-identical obs snapshots.
+func TestFaultRateZeroIsBitIdentical(t *testing.T) {
+	arrivals := obsArrivals(t, 11, 500)
+	run := func(plan *fault.Plan) (*Result, []byte, []byte) {
+		s := sim()
+		s.Opts.EnableColdStarts = true
+		s.Opts.KeepAlive = 0.1
+		s.Opts.MaxConcurrency = 2
+		reg := obs.NewRegistry()
+		rec := obs.NewRecorder(nil, 0)
+		s.Opts.Obs = reg
+		s.Opts.Recorder = rec
+		s.Opts.Fault = plan
+		s.Opts.Retry = fault.Retry{Max: 3, BaseS: 0.01, CapS: 0.04}
+		res, err := s.Run(arrivals, cfg(2048, 8, 0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var metrics, events bytes.Buffer
+		if err := reg.WriteJSON(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteEventsJSON(&events); err != nil {
+			t.Fatal(err)
+		}
+		return res, metrics.Bytes(), events.Bytes()
+	}
+	base, bm, be := run(nil)
+	zero, zm, ze := run(&fault.Plan{Seed: 42}) // seed set, every rate zero
+	if !reflect.DeepEqual(base, zero) {
+		t.Fatalf("epsilon=0 plan changed the Result:\n%+v\n%+v", base, zero)
+	}
+	if !bytes.Equal(bm, zm) {
+		t.Fatalf("epsilon=0 plan changed the metric snapshot:\n%s\n---\n%s", bm, zm)
+	}
+	if !bytes.Equal(be, ze) {
+		t.Fatalf("epsilon=0 plan changed the event stream:\n%s\n---\n%s", be, ze)
+	}
+	if bytes.Contains(zm, []byte("qsim_retries_total")) {
+		t.Fatal("inactive plan registered failure series")
+	}
+}
+
+// TestFaultRunDeterministic: two runs under the same active plan are
+// bit-identical, and an active plan actually perturbs the fault-free run.
+func TestFaultRunDeterministic(t *testing.T) {
+	arrivals := obsArrivals(t, 5, 400)
+	plan := &fault.Plan{Seed: 9, ErrorRate: 0.3, StragglerRate: 0.2, ColdSpikeRate: 0.1}
+	run := func(p *fault.Plan) (*Result, []byte) {
+		s := sim()
+		reg := obs.NewRegistry()
+		s.Opts.Obs = reg
+		s.Opts.Fault = p
+		s.Opts.Retry = fault.Retry{Max: 1, BaseS: 0.005, CapS: 0.02}
+		res, err := s.Run(arrivals, cfg(1024, 4, 0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var metrics bytes.Buffer
+		if err := reg.WriteJSON(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		return res, metrics.Bytes()
+	}
+	a, am := run(plan)
+	b, bm := run(plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-plan runs differ")
+	}
+	if !bytes.Equal(am, bm) {
+		t.Fatalf("same-plan snapshots differ:\n%s\n---\n%s", am, bm)
+	}
+	clean, _ := run(nil)
+	if reflect.DeepEqual(a, clean) {
+		t.Fatal("active plan produced a fault-free run (injection had no effect)")
+	}
+	if a.FailedRequests == 0 && a.Retries == 0 {
+		t.Fatalf("plan with 30%% error rate injected nothing: %+v", a)
+	}
+}
+
+// TestFaultFailedBatchAccounting pins the failure semantics with a scripted
+// schedule: Retry.Max=1 and three consecutive errors exhaust the first
+// batch, whose requests get a time-to-failure latency and zero cost, while
+// later batches are untouched.
+func TestFaultFailedBatchAccounting(t *testing.T) {
+	// Two batches of 2 (B=2, tight timeout): attempts 0,1 fail the first
+	// batch (Max=1 -> 2 attempts); attempt 2 serves the second batch.
+	arrivals := []float64{0.00, 0.01, 1.00, 1.01}
+	plan := &fault.Plan{Script: []fault.Outcome{{Err: true}, {Err: true}, {}}}
+	s := sim()
+	reg := obs.NewRegistry()
+	s.Opts.Obs = reg
+	s.Opts.Fault = plan
+	s.Opts.Retry = fault.Retry{Max: 1, BaseS: 0.25, CapS: 1}
+	res, err := s.Run(arrivals, cfg(2048, 2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) != 2 {
+		t.Fatalf("batches = %d, want 2", len(res.Batches))
+	}
+	failedBatch, okBatch := res.Batches[0], res.Batches[1]
+	if !failedBatch.Failed || failedBatch.Attempts != 2 || failedBatch.Cost > 0 {
+		t.Fatalf("first batch = %+v, want failed after 2 attempts at zero cost", failedBatch)
+	}
+	if math.Abs(failedBatch.RetryDelayS-0.25) > 1e-12 {
+		t.Fatalf("retry delay = %v, want 0.25 (one base backoff)", failedBatch.RetryDelayS)
+	}
+	if okBatch.Failed || okBatch.Attempts != 1 || okBatch.Cost <= 0 {
+		t.Fatalf("second batch = %+v, want clean", okBatch)
+	}
+	if res.FailedRequests != 2 || res.Retries != 1 {
+		t.Fatalf("failure accounting = %d failed, %d retries; want 2, 1", res.FailedRequests, res.Retries)
+	}
+	if res.Failed == nil || !res.Failed[0] || !res.Failed[1] || res.Failed[2] || res.Failed[3] {
+		t.Fatalf("Failed marks = %v", res.Failed)
+	}
+	// Time to failure: dispatch at 0.01 (size dispatch) + one 0.25s backoff.
+	wantFail := 0.01 + 0.25
+	for k := 0; k < 2; k++ {
+		if math.Abs(res.Latencies[k]-(wantFail-arrivals[k])) > 1e-12 {
+			t.Fatalf("latency[%d] = %v, want time-to-failure %v", k, res.Latencies[k], wantFail-arrivals[k])
+		}
+		if res.PerRequestCost[k] > 0 {
+			t.Fatalf("failed request %d billed %v", k, res.PerRequestCost[k])
+		}
+	}
+	if res.TotalCost != okBatch.Cost {
+		t.Fatalf("total cost %v != surviving batch cost %v", res.TotalCost, okBatch.Cost)
+	}
+	counter := func(name string) float64 {
+		t.Helper()
+		c, err := reg.Counter(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Value()
+	}
+	if counter("qsim_failed_batches_total") != 1 || counter("qsim_failed_requests_total") != 2 ||
+		counter("qsim_retries_total") != 1 {
+		t.Fatal("failure counters do not match the scripted schedule")
+	}
+	if counter("qsim_requests_total") != 2 {
+		t.Fatal("failed requests leaked into qsim_requests_total")
+	}
+}
+
+// TestFaultStragglerInflatesServiceAndCost: a scripted straggler multiplies
+// the executed service time and the invocation is re-billed accordingly.
+func TestFaultStragglerInflatesServiceAndCost(t *testing.T) {
+	arrivals := []float64{0, 0.001}
+	clean := sim()
+	base, err := clean.Run(arrivals, cfg(2048, 2, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim()
+	s.Opts.Fault = &fault.Plan{Script: []fault.Outcome{{StragglerFactor: 3}}}
+	res, err := s.Run(arrivals, cfg(2048, 2, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSvc := 3 * base.Batches[0].Service
+	if math.Abs(res.Batches[0].Service-wantSvc) > 1e-12 {
+		t.Fatalf("straggler service = %v, want %v", res.Batches[0].Service, wantSvc)
+	}
+	if res.TotalCost <= base.TotalCost {
+		t.Fatalf("straggler not re-billed: %v <= %v", res.TotalCost, base.TotalCost)
+	}
+	// Cold-start spike adds absolute seconds instead.
+	s2 := sim()
+	s2.Opts.Fault = &fault.Plan{Script: []fault.Outcome{{ColdSpikeS: 0.75}}}
+	res2, err := s2.Run(arrivals, cfg(2048, 2, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Batches[0].Service-(base.Batches[0].Service+0.75)) > 1e-12 {
+		t.Fatalf("spiked service = %v, want %v", res2.Batches[0].Service, base.Batches[0].Service+0.75)
+	}
+}

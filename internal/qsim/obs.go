@@ -25,9 +25,16 @@ type runMetrics struct {
 	cost        *obs.Counter
 	latency     *obs.Histogram
 	batchSize   *obs.Histogram
+	// Failure series, registered only when fault injection is active so a
+	// fault-free run's snapshot stays byte-identical to pre-fault builds.
+	retries       *obs.Counter
+	failedBatches *obs.Counter
+	failedReqs    *obs.Counter
 }
 
-func newRunMetrics(reg *obs.Registry) (*runMetrics, error) {
+// newRunMetrics registers the run series; the failure series are added only
+// for fault-injected runs.
+func newRunMetrics(reg *obs.Registry, faultActive bool) (*runMetrics, error) {
 	if reg == nil {
 		return nil, nil
 	}
@@ -45,6 +52,11 @@ func newRunMetrics(reg *obs.Registry) (*runMetrics, error) {
 	counter(&m.coldStarts, "qsim_cold_starts_total", "dispatches that paid a cold start")
 	counter(&m.queued, "qsim_queued_batches_total", "dispatches delayed waiting for a concurrency slot")
 	counter(&m.cost, "qsim_cost_usd_total", "total simulated invocation cost in USD")
+	if faultActive {
+		counter(&m.retries, "qsim_retries_total", "simulated invocation retries")
+		counter(&m.failedBatches, "qsim_failed_batches_total", "simulated batches that exhausted their retries")
+		counter(&m.failedReqs, "qsim_failed_requests_total", "simulated requests lost to retry-exhausted batches")
+	}
 	if err == nil {
 		m.latency, err = reg.Histogram("qsim_latency_seconds",
 			"end-to-end simulated request latency", obs.DefaultLatencyBuckets())
@@ -83,6 +95,26 @@ func (m *runMetrics) observeBatch(b Batch, cause string, latencies []float64) {
 		m.requests.Inc()
 		m.latency.Observe(lat)
 	}
+}
+
+// observeRetries records n retried invocation attempts (no-op outside
+// fault-injected runs, where the series is not registered).
+func (m *runMetrics) observeRetries(n int) {
+	if m == nil || m.retries == nil || n <= 0 {
+		return
+	}
+	m.retries.Add(float64(n))
+}
+
+// observeFailedBatch records one retry-exhausted batch and its lost
+// requests (its retried attempts included).
+func (m *runMetrics) observeFailedBatch(b Batch) {
+	if m == nil || m.failedBatches == nil {
+		return
+	}
+	m.failedBatches.Inc()
+	m.failedReqs.Add(float64(b.Size))
+	m.observeRetries(b.Attempts - 1)
 }
 
 // recordDispatch appends the batch's events to the recorder, stamped with

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"sort"
 
+	"deepbat/internal/fault"
 	"deepbat/internal/lambda"
 	"deepbat/internal/obs"
 	"deepbat/internal/stats"
@@ -37,6 +38,19 @@ type Options struct {
 	// Recorder, when non-nil, receives one "dispatch" event per invocation
 	// (plus "cold_start" events), stamped with simulated time.
 	Recorder *obs.Recorder
+	// Fault, when non-nil and active, mirrors the gateway's fault-injection
+	// model in simulated time: the outcome of invocation attempt k is the
+	// same pure function of (Fault.Seed, k) the live fault.FaultyBackend
+	// draws, so experiments and the real-time gateway agree on one fault
+	// schedule. An inactive (or nil) plan leaves Run bit-identical to a
+	// fault-free simulation, including its obs snapshots.
+	Fault *fault.Plan
+	// Retry mirrors the gateway's retry policy in simulated time: failed
+	// attempts are retried up to Retry.Max times with the deterministic
+	// capped-doubling backoff (no jitter — simulated time keeps the bound
+	// exact). A batch that exhausts its retries fails: its requests get a
+	// time-to-failure latency, zero cost, and a Result.Failed mark.
+	Retry fault.Retry
 }
 
 // Simulator evaluates configurations against arrival traces.
@@ -61,6 +75,12 @@ type Batch struct {
 	Service float64 // execution time, including cold start if charged
 	Cost    float64 // invocation cost in USD
 	Cold    bool
+	// Attempts is how many invocation attempts the batch consumed (1
+	// without fault injection); Failed marks a batch whose retry budget
+	// was exhausted, and RetryDelayS is the cumulative backoff it waited.
+	Attempts    int
+	Failed      bool
+	RetryDelayS float64
 }
 
 // Result holds the outcome of simulating one configuration over a trace.
@@ -75,6 +95,13 @@ type Result struct {
 	DispatchTimes []float64
 	Batches       []Batch
 	TotalCost     float64
+	// Failure accounting, populated only under fault injection. Failed is
+	// nil until a batch fails; Failed[k] marks request k's batch as
+	// retry-exhausted (its Latencies entry is then time-to-failure and its
+	// PerRequestCost is zero).
+	Failed         []bool
+	FailedRequests int
+	Retries        int
 }
 
 // ErrNoArrivals is returned when the trace is empty.
@@ -128,10 +155,18 @@ func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) 
 		PerRequestCost: make([]float64, n),
 		DispatchTimes:  make([]float64, n),
 	}
-	met, err := newRunMetrics(s.Opts.Obs)
+	// The injector exists only for an active plan, so a zero fault rate
+	// leaves every code path — and every registered metric series —
+	// bit-identical to a fault-free run.
+	var inj *fault.Injector
+	if s.Opts.Fault != nil && s.Opts.Fault.Active() {
+		inj = fault.NewInjector(*s.Opts.Fault)
+	}
+	met, err := newRunMetrics(s.Opts.Obs, inj != nil)
 	if err != nil {
 		return nil, err
 	}
+	var inv uint64 // invocation attempt index, mirrors FaultyBackend's counter
 	// Warm-container pool: times at which containers become idle.
 	var warm []float64
 	// Concurrency slots: execution end times of in-flight invocations, kept
@@ -161,37 +196,101 @@ func (s *Simulator) Run(arrivals []float64, cfg lambda.Config) (*Result, error) 
 				start = free
 			}
 		}
-		svc := s.Profile.ServiceTime(cfg.MemoryMB, size)
-		cold := false
-		if s.Opts.EnableColdStarts {
-			cold = !s.takeWarm(&warm, start)
-			if cold {
-				svc += s.Profile.ColdStart(cfg.MemoryMB)
+		// Resolve the batch's fault outcome before it touches the warm pool
+		// or a concurrency slot: a failed batch never executes, so it must
+		// leave the platform state untouched.
+		attempts := 1
+		retryDelay := 0.0
+		var outcome fault.Outcome
+		failed := false
+		if inj != nil {
+			attempts = 0
+			for {
+				o := inj.Outcome(inv)
+				inv++
+				attempts++
+				if !o.Err {
+					outcome = o
+					break
+				}
+				if attempts > s.Opts.Retry.Max {
+					failed = true
+					break
+				}
+				retryDelay += s.Opts.Retry.BackoffS(attempts - 1)
 			}
-		}
-		if slots != nil {
-			slots.occupy(start + svc)
-		}
-		cost := s.Pricing.InvocationCost(cfg.MemoryMB, svc)
-		batch := Batch{
-			DispatchAt: dispatch, StartAt: start, Size: size, Service: svc, Cost: cost, Cold: cold,
-		}
-		res.Batches = append(res.Batches, batch)
-		res.TotalCost += cost
-		perReq := cost / float64(size)
-		for k := i; k < j; k++ {
-			res.Latencies[k] = start - arrivals[k] + svc
-			res.PerRequestCost[k] = perReq
-			res.DispatchTimes[k] = dispatch
+			res.Retries += attempts - 1
 		}
 		cause := dispatchCauseTimeout
 		if size == cfg.BatchSize {
 			cause = dispatchCauseSize
 		}
+		if failed {
+			failAt := start + retryDelay
+			batch := Batch{
+				DispatchAt: dispatch, StartAt: start, Size: size,
+				Attempts: attempts, Failed: true, RetryDelayS: retryDelay,
+			}
+			res.Batches = append(res.Batches, batch)
+			if res.Failed == nil {
+				res.Failed = make([]bool, n)
+			}
+			res.FailedRequests += size
+			for k := i; k < j; k++ {
+				res.Latencies[k] = failAt - arrivals[k] // time to failure
+				res.DispatchTimes[k] = dispatch
+				res.Failed[k] = true
+			}
+			met.observeFailedBatch(batch)
+			if s.Opts.Recorder != nil {
+				s.Opts.Recorder.EventAt(failAt, "batch_failed",
+					obs.I("size", size), obs.I("attempts", attempts))
+			}
+			i = j
+			continue
+		}
+		execStart := start
+		if retryDelay > 0 {
+			execStart = start + retryDelay
+		}
+		svc := s.Profile.ServiceTime(cfg.MemoryMB, size)
+		cold := false
+		if s.Opts.EnableColdStarts {
+			cold = !s.takeWarm(&warm, execStart)
+			if cold {
+				svc += s.Profile.ColdStart(cfg.MemoryMB)
+			}
+		}
+		// Straggler factors and cold-start spikes inflate the executed
+		// duration exactly like fault.FaultyBackend does on the live path,
+		// and the invocation is re-billed at its inflated runtime.
+		if outcome.StragglerFactor > 0 {
+			svc *= outcome.StragglerFactor
+		}
+		if outcome.ColdSpikeS > 0 {
+			svc += outcome.ColdSpikeS
+		}
+		if slots != nil {
+			slots.occupy(execStart + svc)
+		}
+		cost := s.Pricing.InvocationCost(cfg.MemoryMB, svc)
+		batch := Batch{
+			DispatchAt: dispatch, StartAt: start, Size: size, Service: svc, Cost: cost, Cold: cold,
+			Attempts: attempts, RetryDelayS: retryDelay,
+		}
+		res.Batches = append(res.Batches, batch)
+		res.TotalCost += cost
+		perReq := cost / float64(size)
+		for k := i; k < j; k++ {
+			res.Latencies[k] = execStart - arrivals[k] + svc
+			res.PerRequestCost[k] = perReq
+			res.DispatchTimes[k] = dispatch
+		}
 		met.observeBatch(batch, cause, res.Latencies[i:j])
+		met.observeRetries(attempts - 1)
 		recordDispatch(s.Opts.Recorder, batch, cause)
 		if s.Opts.EnableColdStarts {
-			warm = append(warm, start+svc)
+			warm = append(warm, execStart+svc)
 		}
 		i = j
 	}
