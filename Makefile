@@ -8,16 +8,18 @@ GO ?= go
 # drive from row-sharded workers, data-parallel training / no-grad parallel
 # evaluation (including the batched grid-sweep fan-out), the analytical
 # baseline used by the same experiments, the gateway (which spawns
-# batching/control/retry goroutines under test), the fault-injection layer
-# (whose FaultyBackend counter is hit from concurrent batch executions), and
-# the observability registry/recorder hammered from many goroutines.
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/...
+# batching/control/retry goroutines under test, and since the sharding PR
+# pools waiters across shard mutexes and a lock-free exchange slot), the
+# fault-injection layer (whose FaultyBackend counter is hit from concurrent
+# batch executions), the observability registry/recorder hammered from many
+# goroutines, and the load generator's closed-loop worker pool.
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/...
 
 # Per-package coverage floors enforced by `make cover` (see the cover target).
 COVER_FLOOR_GATEWAY = 80
 COVER_FLOOR_FAULT   = 90
 
-.PHONY: verify fmtcheck lint test race bench fuzz chaos cover
+.PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke
 
 ## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
 ## and the full test suite. Every PR must leave this green.
@@ -40,13 +42,27 @@ lint:
 test: verify
 
 ## race: run the concurrency-sensitive packages under the race detector.
+## The gateway is additionally run with the poolcheck build tag, which
+## poisons recycled waiters on put and panics on double-put, unconsumed
+## responses, or dirty reuse — pool-hygiene bugs the race detector alone
+## cannot see.
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -tags poolcheck ./internal/gateway/
 
-## bench: regenerate the benchmark regression snapshot (BENCH_3.json),
-## including speedup/alloc ratios against the previous snapshot.
+## bench: regenerate the benchmark regression snapshot (BENCH_4.json),
+## including speedup/alloc ratios against the previous snapshot. Asserts the
+## instrumented-training overhead budget, the zero-alloc pooled admit path,
+## and the sharded-dispatch speedup floor (non-zero exit on violation).
 bench:
-	$(GO) run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_4.json -baseline BENCH_3.json
+
+## loadgen-smoke: CI smoke check for the serving path — a short closed-loop
+## saturation run that must finish with goodput > 0 and zero failed
+## requests, plus a deterministic open-loop shard sweep.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -loop closed -clients 8 -duration 3s -assert
+	$(GO) run ./cmd/loadgen -loop open -requests 2000 -rate 1000 -sweep 1,2,4,8 -assert
 
 ## fuzz: a short native-fuzzing pass over the discrete-event simulator's
 ## batching invariants (qsim.FuzzRun), sized for CI (~20s). The corpus seeds

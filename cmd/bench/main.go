@@ -4,18 +4,26 @@
 // root by convention — giving successive PRs a perf trajectory to compare
 // against.
 //
-//	go run ./cmd/bench -out BENCH_3.json -baseline BENCH_2.json
+//	go run ./cmd/bench -out BENCH_4.json -baseline BENCH_3.json
 //
 // The set covers the surrogate hot paths this project optimizes: the matmul
 // kernel across a size sweep (64/128/256/512, spanning both sides of the
 // blocked-dispatch threshold), one encoder train step, a full train epoch
 // serial vs parallel (data-parallel minibatch sharding) vs
-// serial-with-observability, the encode-once batched grid sweep, and a full
-// DeepBAT decision. The snapshot also records the relative overhead of
-// instrumented training (train_obs_overhead_pct), which the observability PR
-// held under 5% (single-run samples jitter a few percent either way), and —
-// when -baseline names an earlier snapshot — per-name
-// speedup and allocation ratios against it.
+// serial-with-observability, the encode-once batched grid sweep, a full
+// DeepBAT decision, and the gateway serving path: zero-alloc pooled admit
+// (GatewayAdmit), size-triggered batch dispatch (GatewayDispatchBatch), the
+// legacy channel-per-request queue (GatewaySingleQueue), and the pooled
+// sharded path at P = 1/4/8 (GatewaySharded*). Gateway benchmarks run
+// against a constant-time backend so they measure gateway overhead, not the
+// simulated-Lambda service-time model shared by every path.
+//
+// The snapshot also records train_obs_overhead_pct — the relative cost of
+// instrumented training, measured with paired alternating runs and asserted
+// against the 5% budget the observability PR set — plus the pooled-path
+// guarantees: gateway_admit_allocs_per_op (asserted zero) and
+// speedup_sharded8_vs_single_queue (asserted ≥ 3). When -baseline names an
+// earlier snapshot, per-name speedup and allocation ratios are included.
 package main
 
 import (
@@ -25,14 +33,28 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"deepbat"
 	"deepbat/internal/experiments"
+	"deepbat/internal/gateway"
+	"deepbat/internal/lambda"
 	"deepbat/internal/nn"
 	"deepbat/internal/obs"
 	"deepbat/internal/tensor"
 )
+
+// trainObsBudgetPct is the observability-overhead budget for instrumented
+// training, in percent. This is the single place the budget lives; the
+// snapshot's train_obs_overhead_pct is asserted against it.
+const trainObsBudgetPct = 5.0
+
+// sharded8SpeedupFloor is the acceptance floor for the pooled sharded path:
+// GatewaySharded8 must beat the legacy single-queue dispatch by at least
+// this factor.
+const sharded8SpeedupFloor = 3.0
 
 // Result is one benchmark measurement.
 type Result struct {
@@ -48,10 +70,18 @@ type Snapshot struct {
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Results    []Result `json:"results"`
-	// TrainObsOverheadPct is the relative ns/op cost of TrainEpochInstrumented
-	// over TrainEpochSerial, in percent (may be slightly negative from run
-	// noise).
+	// TrainObsOverheadPct is the relative cost of instrumented over serial
+	// training in percent, the median of paired alternating runs (may be
+	// slightly negative from run noise). Asserted <= trainObsBudgetPct.
 	TrainObsOverheadPct float64 `json:"train_obs_overhead_pct"`
+	// GatewayAdmitAllocsPerOp is the steady-state allocation count of the
+	// pooled admit→dispatch→wait path. Asserted zero.
+	GatewayAdmitAllocsPerOp int64 `json:"gateway_admit_allocs_per_op"`
+	// SpeedupSharded8VsSingleQueue is ns/op(GatewaySingleQueue) /
+	// ns/op(GatewaySharded8): how much faster the pooled sharded path
+	// dispatches than the legacy channel-per-request queue. Asserted >=
+	// sharded8SpeedupFloor.
+	SpeedupSharded8VsSingleQueue float64 `json:"speedup_sharded8_vs_single_queue"`
 	// Baseline is the earlier snapshot the ratio maps compare against.
 	Baseline string `json:"baseline,omitempty"`
 	// SpeedupVsBaseline maps benchmark name to baselineNs/currentNs (>1 means
@@ -113,6 +143,32 @@ func measure(name string, f func(b *testing.B)) Result {
 	return res
 }
 
+// measureMedian runs a benchmark runs times and keeps the median-ns/op
+// result. The sub-microsecond gateway benchmarks are scheduler-noise
+// sensitive (the legacy path pays goroutine handoffs), and ratio assertions
+// need stable numerators and denominators.
+func measureMedian(name string, runs int, f func(b *testing.B)) Result {
+	results := make([]Result, 0, runs)
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		results = append(results, Result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].NsPerOp < results[j].NsPerOp })
+	res := results[len(results)/2]
+	fmt.Printf("%-24s %12.0f ns/op %12d B/op %9d allocs/op  (median of %d)\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, runs)
+	return res
+}
+
 func trainDataset(n, seqLen int) *deepbat.Dataset {
 	rng := rand.New(rand.NewSource(7))
 	cfgs := deepbat.DefaultGrid().Configs()
@@ -161,9 +217,70 @@ func trainEpoch(b *testing.B, workers int, instrumented bool) {
 	}
 }
 
+// trainObsOverhead measures the instrumented-over-serial training overhead
+// with paired, alternating single-epoch runs: each pair times one serial and
+// one instrumented epoch back to back (so slow drift — thermal, background
+// load — hits both sides of a pair equally), and the reported figure is the
+// median per-pair overhead. Independent testing.Benchmark runs of the two
+// epochs (how BENCH_3 computed it) jitter several percent either way, which
+// is wider than the budget being asserted.
+func trainObsOverhead(pairs int) float64 {
+	ds := trainDataset(64, 32)
+	mc := deepbat.DefaultOptions().Model
+	mc.SeqLen = 32
+	tc := deepbat.DefaultOptions().Train
+	tc.Epochs = 1
+	tc.Workers = 1
+	runOne := func(reg *obs.Registry) float64 {
+		m := deepbat.NewModel(mc)
+		m.FitNormalization(ds)
+		tc.Obs = reg
+		start := time.Now()
+		if _, err := m.Train(ds, nil, tc); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: train:", err)
+			os.Exit(1)
+		}
+		return time.Since(start).Seconds()
+	}
+	// One unmeasured warmup pair primes caches and the page allocator.
+	runOne(nil)
+	runOne(obs.NewRegistry())
+	overheads := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		serial := runOne(nil)
+		instrumented := runOne(obs.NewRegistry())
+		overheads = append(overheads, 100*(instrumented-serial)/serial)
+	}
+	sort.Float64s(overheads)
+	return overheads[len(overheads)/2]
+}
+
+// nullBackend completes instantly at a fixed cost, isolating gateway
+// overhead (queueing, batching, pooling, accounting) from the simulated
+// service-time model every real path shares.
+type nullBackend struct{}
+
+func (nullBackend) Execute(cfg lambda.Config, batchSize int) (time.Duration, float64, error) {
+	return time.Millisecond, 1e-6, nil
+}
+
+// newBenchGateway builds a gateway over the null backend for one benchmark.
+func newBenchGateway(shards int, cfg lambda.Config) *gateway.Gateway {
+	g, err := gateway.New(nullBackend{}, nil, gateway.Config{
+		Initial: cfg,
+		SLO:     0.1,
+		Shards:  shards,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: gateway:", err)
+		os.Exit(1)
+	}
+	return g
+}
+
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
-	baseline := flag.String("baseline", "BENCH_2.json", "earlier snapshot to compute speedup ratios against (missing file = no ratios)")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	baseline := flag.String("baseline", "BENCH_3.json", "earlier snapshot to compute speedup ratios against (missing file = no ratios)")
 	flag.Parse()
 
 	snap := Snapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
@@ -198,16 +315,18 @@ func main() {
 		}
 	}))
 
-	serial := measure("TrainEpochSerial", func(b *testing.B) { trainEpoch(b, 1, false) })
-	snap.Results = append(snap.Results, serial)
+	snap.Results = append(snap.Results, measure("TrainEpochSerial", func(b *testing.B) { trainEpoch(b, 1, false) }))
 	snap.Results = append(snap.Results, measure("TrainEpochParallel", func(b *testing.B) { trainEpoch(b, 0, false) }))
-	instrumented := measure("TrainEpochInstrumented", func(b *testing.B) { trainEpoch(b, 1, true) })
-	snap.Results = append(snap.Results, instrumented)
-	snap.TrainObsOverheadPct = 100 * (instrumented.NsPerOp - serial.NsPerOp) / serial.NsPerOp
-	fmt.Printf("instrumented training overhead: %+.2f%%\n", snap.TrainObsOverheadPct)
+	snap.Results = append(snap.Results, measure("TrainEpochInstrumented", func(b *testing.B) { trainEpoch(b, 1, true) }))
+	snap.TrainObsOverheadPct = trainObsOverhead(7)
+	fmt.Printf("instrumented training overhead: %+.2f%% (budget %.1f%%, median of 7 pairs)\n",
+		snap.TrainObsOverheadPct, trainObsBudgetPct)
 
 	// The lab pre-trains the shared quick-scale surrogate once; Decide and
-	// GridPredict then measure pure inference.
+	// GridPredict then measure pure inference. (GridPredict keeps its
+	// BENCH_1/2 name for the perf trajectory; since the batching PR,
+	// PredictGrid *is* the batched path, so the separate *Batched aliases
+	// that re-measured the same entry points were dropped in BENCH_4.)
 	lab := experiments.NewLab(experiments.QuickLabConfig())
 	sys, err := lab.BaseSystem()
 	if err != nil {
@@ -218,18 +337,7 @@ func main() {
 	window := inter[:sys.Model.Cfg.SeqLen]
 	cfgs := deepbat.DefaultGrid().Configs()
 
-	// GridPredict keeps its BENCH_1/2 name for the perf trajectory; since
-	// this PR, PredictGrid *is* the batched path, so GridPredictBatched and
-	// DecideBatched measure the same entry points in separate runs (two
-	// independent measurements, not copied numbers).
 	snap.Results = append(snap.Results, measure("GridPredict", func(b *testing.B) {
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			sys.Model.PredictGrid(window, cfgs)
-		}
-	}))
-
-	snap.Results = append(snap.Results, measure("GridPredictBatched", func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sys.Model.PredictGrid(window, cfgs)
@@ -245,16 +353,96 @@ func main() {
 		}
 	}))
 
-	snap.Results = append(snap.Results, measure("DecideBatched", func(b *testing.B) {
+	// Gateway serving path. B=1 configurations dispatch synchronously on the
+	// submitting goroutine; the sharded benchmarks drive 16 concurrent
+	// clients through RunParallel so shards see interleaved traffic.
+	b1 := lambda.Config{MemoryMB: 2048, BatchSize: 1, TimeoutS: 0}
+
+	admit := measureMedian("GatewayAdmit", 3, func(b *testing.B) {
+		g := newBenchGateway(1, b1)
+		defer g.Stop()
+		for i := 0; i < 64; i++ {
+			g.Do() // warm the waiter/batch pools before measuring
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sys.Decide(window); err != nil {
-				b.Fatal(err)
-			}
+			g.Do()
 		}
+	})
+	snap.Results = append(snap.Results, admit)
+	snap.GatewayAdmitAllocsPerOp = admit.AllocsPerOp
+
+	snap.Results = append(snap.Results, measureMedian("GatewayDispatchBatch", 3, func(b *testing.B) {
+		// Size-triggered dispatch: 16 clients fill B=16 batches; the 5 ms
+		// timer only rescues the final partial batch.
+		g := newBenchGateway(1, lambda.Config{MemoryMB: 2048, BatchSize: 16, TimeoutS: 0.005})
+		defer g.Stop()
+		b.SetParallelism(16)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				g.Do()
+			}
+		})
 	}))
 
+	singleQueue := measureMedian("GatewaySingleQueue", 5, func(b *testing.B) {
+		g := newBenchGateway(1, b1)
+		defer g.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			<-g.Enqueue() // legacy channel-per-request path
+		}
+	})
+	snap.Results = append(snap.Results, singleQueue)
+
+	var sharded8 Result
+	for _, p := range []int{1, 4, 8} {
+		p := p
+		runs := 3
+		if p == 8 {
+			runs = 5 // denominator of the asserted speedup ratio
+		}
+		r := measureMedian(fmt.Sprintf("GatewaySharded%d", p), runs, func(b *testing.B) {
+			g := newBenchGateway(p, b1)
+			defer g.Stop()
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					g.Do()
+				}
+			})
+		})
+		snap.Results = append(snap.Results, r)
+		if p == 8 {
+			sharded8 = r
+		}
+	}
+	if sharded8.NsPerOp > 0 {
+		snap.SpeedupSharded8VsSingleQueue = singleQueue.NsPerOp / sharded8.NsPerOp
+	}
+	fmt.Printf("sharded8 vs single-queue dispatch: %.2fx (floor %.1fx)\n",
+		snap.SpeedupSharded8VsSingleQueue, sharded8SpeedupFloor)
+
 	snap.compareBaseline(*baseline)
+
+	failed := false
+	if snap.TrainObsOverheadPct > trainObsBudgetPct {
+		fmt.Fprintf(os.Stderr, "bench: ASSERT FAILED: train_obs_overhead_pct %.2f%% exceeds the %.1f%% budget\n",
+			snap.TrainObsOverheadPct, trainObsBudgetPct)
+		failed = true
+	}
+	if snap.GatewayAdmitAllocsPerOp > 0 {
+		fmt.Fprintf(os.Stderr, "bench: ASSERT FAILED: GatewayAdmit allocates %d/op; the pooled path must be zero-alloc\n",
+			snap.GatewayAdmitAllocsPerOp)
+		failed = true
+	}
+	if snap.SpeedupSharded8VsSingleQueue < sharded8SpeedupFloor {
+		fmt.Fprintf(os.Stderr, "bench: ASSERT FAILED: sharded8 speedup %.2fx below the %.1fx floor\n",
+			snap.SpeedupSharded8VsSingleQueue, sharded8SpeedupFloor)
+		failed = true
+	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -267,4 +455,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, snap.GOMAXPROCS)
+	if failed {
+		os.Exit(1)
+	}
 }

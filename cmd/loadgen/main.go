@@ -1,0 +1,124 @@
+// Command loadgen drives an in-process gateway with synthetic traffic and
+// reports throughput, p50/p95/p99 latency, and goodput (SLO-satisfying
+// req/s).
+//
+//	loadgen -loop closed -clients 16 -duration 3s          # saturation run
+//	loadgen -loop open -requests 5000 -rate 2000 -seed 42  # deterministic replay
+//	loadgen -loop open -requests 5000 -rate 2000 -sweep 1,2,4,8
+//
+// The open loop replays a seeded Poisson arrival process on a virtual
+// clock: same seed, same table, on any machine — which is what makes
+// -sweep output comparable across shard counts and runs. The closed loop
+// measures real wall-clock saturation throughput; -assert turns it into
+// the CI smoke check (goodput > 0, zero failed requests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepbat/internal/lambda"
+	"deepbat/internal/loadgen"
+)
+
+func main() {
+	loop := flag.String("loop", "closed", "traffic loop: closed | open")
+	shards := flag.Int("shards", 0, "gateway shard count (0 = GOMAXPROCS)")
+	sweep := flag.String("sweep", "", "comma-separated shard counts to sweep (overrides -shards)")
+	clients := flag.Int("clients", 8, "closed-loop concurrent clients")
+	requests := flag.Int("requests", 0, "request budget: per client (closed), total (open)")
+	duration := flag.Duration("duration", 3*time.Second, "closed-loop wall budget (0 = until -requests)")
+	rate := flag.Float64("rate", 1000, "open-loop Poisson arrival rate (req/s)")
+	seed := flag.Int64("seed", 1, "arrival/fault PRNG seed")
+	slo := flag.Float64("slo", 0.1, "latency SLO in seconds (goodput threshold)")
+	memory := flag.Float64("memory", 2048, "serving configuration: memory MB")
+	batch := flag.Int("batch", 1, "serving configuration: batch size B")
+	timeout := flag.Float64("timeout", 0.01, "serving configuration: batch timeout T seconds (closed loop)")
+	faultRate := flag.Float64("fault-error-rate", 0, "injected backend failure probability")
+	legacy := flag.Bool("legacy", false, "drive the channel-per-request Enqueue path instead of the pooled path")
+	assert := flag.Bool("assert", false, "exit 1 unless goodput > 0 and no request failed (CI smoke)")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Initial:        lambda.Config{MemoryMB: *memory, BatchSize: *batch, TimeoutS: *timeout},
+		Shards:         *shards,
+		SLO:            *slo,
+		Clients:        *clients,
+		Requests:       *requests,
+		Duration:       *duration,
+		RateRPS:        *rate,
+		Seed:           *seed,
+		FaultErrorRate: *faultRate,
+		Legacy:         *legacy,
+	}
+	if *loop == "open" && cfg.Requests == 0 {
+		cfg.Requests = 5000
+	}
+
+	counts := []int{cfg.Shards}
+	if *sweep != "" {
+		counts = parseSweep(*sweep)
+	}
+	printHeader()
+	ok := true
+	for _, p := range counts {
+		c := cfg
+		c.Shards = p
+		var (
+			r   loadgen.Report
+			err error
+		)
+		switch *loop {
+		case "closed":
+			r, err = loadgen.RunClosed(c)
+		case "open":
+			r, err = loadgen.RunOpen(c)
+		default:
+			log.Fatalf("loadgen: unknown -loop %q (want closed or open)", *loop)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(r)
+		if r.GoodputRPS <= 0 || r.Failed > 0 {
+			ok = false
+		}
+	}
+	if *assert && !ok {
+		fmt.Println("loadgen: ASSERT FAILED (goodput must be > 0 with zero failed requests)")
+		os.Exit(1)
+	}
+}
+
+func parseSweep(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			log.Fatalf("loadgen: bad -sweep entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func printHeader() {
+	fmt.Printf("%-7s %7s %7s %9s %8s %12s %12s %9s %9s %9s %12s\n",
+		"mode", "shards", "path", "requests", "failed",
+		"throughput", "goodput", "p50_ms", "p95_ms", "p99_ms", "cost_usd")
+}
+
+func printRow(r loadgen.Report) {
+	path := "pooled"
+	if r.Legacy {
+		path = "legacy"
+	}
+	fmt.Printf("%-7s %7d %7s %9d %8d %12.1f %12.1f %9.3f %9.3f %9.3f %12.6f\n",
+		r.Mode, r.Shards, path, r.Requests, r.Failed,
+		r.ThroughputRPS, r.GoodputRPS, r.P50MS, r.P95MS, r.P99MS, r.TotalCostUSD)
+}

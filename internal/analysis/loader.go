@@ -144,7 +144,9 @@ func (l *loader) load(path, dir string) (*Package, error) {
 }
 
 // parseDir parses every non-test .go file in dir (not recursive), with
-// comments retained for directive handling.
+// comments retained for directive handling. Build constraints are honoured
+// under the default tag set, so tag-gated file pairs (poolcheck on/off)
+// contribute exactly one declaration each — the same view `go build` sees.
 func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -155,6 +157,11 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, err
+		} else if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

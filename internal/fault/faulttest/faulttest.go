@@ -60,6 +60,11 @@ type Scenario struct {
 	// Decide, when non-nil, is the inner decision function; Run wraps it
 	// with the plan's DecideErrorRate stream.
 	Decide func(window []float64) (lambda.Config, error)
+	// Shards is the gateway shard count (0 = 1). The harness defaults to a
+	// single shard — not GOMAXPROCS — because scenarios script batch fills
+	// by arrival count, which presumes one queue; multi-shard scenarios
+	// must opt in and route by hash.
+	Shards int
 	Steps  []Step
 }
 
@@ -102,12 +107,17 @@ func Run(t *testing.T, s Scenario) Result {
 	if s.Decide != nil {
 		decide = inj.WrapDecide(s.Decide)
 	}
+	shards := s.Shards
+	if shards == 0 {
+		shards = 1
+	}
 	g, err := gateway.New(backend, decide, gateway.Config{
 		Initial:    s.Initial,
 		SLO:        s.SLO,
 		WindowLen:  s.WindowLen,
 		Clock:      clock,
 		Resilience: res,
+		Shards:     shards,
 	})
 	if err != nil {
 		t.Fatalf("scenario %q: %v", s.Name, err)

@@ -7,6 +7,17 @@
 // (the DeepBAT optimizer, or any other controller) and live-reconfigures
 // (M, B, T).
 //
+// Intake is sharded: request IDs hash (seed-stable splitmix64) onto P
+// independent batcher shards, each with its own queue, batch timer, circuit
+// breaker, and object pools, so admission never funnels through one mutex.
+// The optimizer's configuration fans out to shards through an atomic
+// pointer; per-shard tallies merge in shard order, so deterministic drivers
+// see deterministic merged figures, and P = 1 reproduces the single-queue
+// gateway bit for bit (see testdata/preshard). The pooled Submit/Do path is
+// allocation-free at steady state; Enqueue keeps the original
+// channel-per-request contract for the HTTP handler and as the baseline the
+// gateway benchmarks compare against.
+//
 // The serving path is resilient to backend and controller faults
 // (internal/fault is the matching injection layer): failed invocations are
 // retried with capped exponential backoff and jitter from an injected PRNG,
@@ -31,7 +42,9 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deepbat/internal/core"
@@ -129,6 +142,8 @@ type Resilience struct {
 	RequestTimeoutS float64
 	// BreakerThreshold opens the circuit breaker after this many
 	// consecutive failed invocation attempts (0 = breaker disabled).
+	// With sharded intake each shard runs its own breaker; the threshold
+	// counts consecutive failures per shard.
 	BreakerThreshold int
 	// BreakerCooldownS is how long (clock seconds) the breaker stays open
 	// before admitting a half-open probe on the active configuration.
@@ -162,6 +177,12 @@ type Config struct {
 	Clock obs.Clock
 	// Resilience configures retries, deadlines, and the circuit breaker.
 	Resilience Resilience
+	// Shards is the number of independent batcher shards intake is hashed
+	// across (0 = GOMAXPROCS). Shards = 1 reproduces the single-queue
+	// gateway bit for bit; batching-sensitive tests pin it. Each shard
+	// accumulates its own batches, so with P shards a size-B dispatch
+	// needs B same-shard arrivals, not B total.
+	Shards int
 }
 
 // Stats is the JSON document served at /stats.
@@ -198,10 +219,13 @@ type Response struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-type waiter struct {
-	id       int
-	arriveAt float64 // clock seconds
-	done     chan Response
+// activeCfg pairs a serving configuration with its pre-rendered String() so
+// the steady-state dispatch path never formats (= never allocates) a config
+// label per response. Instances are immutable and fan out to shards through
+// the gateway's atomic pointer.
+type activeCfg struct {
+	cfg lambda.Config
+	str string
 }
 
 // dispatch causes, as recorded in the gateway_dispatch_*_total counters.
@@ -213,7 +237,9 @@ const (
 )
 
 // metrics holds the gateway's registered series; names are documented in
-// the README metric reference table.
+// the README metric reference table. All series are gateway-wide: shards
+// update them directly (counters and the pending gauge commute, so merged
+// values are exact at any shard count).
 type metrics struct {
 	requests    *obs.Counter
 	latency     *obs.Histogram
@@ -222,19 +248,26 @@ type metrics struct {
 	violations  *obs.Counter
 	invocations *obs.Counter
 	dispatch    map[string]*obs.Counter // by cause
-	reconfigs   *obs.Counter
-	decideErrs  *obs.Counter
-	retries     *obs.Counter
-	failures    *obs.Counter
-	failedReqs  *obs.Counter
-	expired     *obs.Counter
-	shed        *obs.Counter
-	brOpens     *obs.Counter
-	pending     *obs.Gauge
-	brState     *obs.Gauge
-	cfgMemory   *obs.Gauge
-	cfgBatch    *obs.Gauge
-	cfgTimeout  *obs.Gauge
+	// Pre-bound dispatch-cause counters so the per-batch hot path resolves
+	// its counter with a switch on the cause constant instead of a map
+	// lookup. Same counters as the map entries.
+	dSize      *obs.Counter
+	dTimeout   *obs.Counter
+	dImmediate *obs.Counter
+	dFlush     *obs.Counter
+	reconfigs  *obs.Counter
+	decideErrs *obs.Counter
+	retries    *obs.Counter
+	failures   *obs.Counter
+	failedReqs *obs.Counter
+	expired    *obs.Counter
+	shed       *obs.Counter
+	brOpens    *obs.Counter
+	pending    *obs.Gauge
+	brState    *obs.Gauge
+	cfgMemory  *obs.Gauge
+	cfgBatch   *obs.Gauge
+	cfgTimeout *obs.Gauge
 }
 
 // newMetrics registers the gateway series on reg. Registration errors (name
@@ -265,6 +298,10 @@ func newMetrics(reg *obs.Registry) (*metrics, error) {
 		register(&dst, "gateway_dispatch_"+c+"_total", "batches dispatched because of "+c)
 		m.dispatch[c] = dst
 	}
+	m.dSize = m.dispatch[causeSize]
+	m.dTimeout = m.dispatch[causeTimeout]
+	m.dImmediate = m.dispatch[causeImmediate]
+	m.dFlush = m.dispatch[causeFlush]
 	if err != nil {
 		return nil, err
 	}
@@ -310,34 +347,32 @@ type Gateway struct {
 	rec     *obs.Recorder
 	met     *metrics
 
+	// Immutable after New.
+	initial  *activeCfg
+	fallback *activeCfg // breaker fallback, resolved (zero value -> initial)
+	shards   []*shard
+
+	// active is the configuration shards capture when opening a batch;
+	// decideOnce swaps it atomically so admission never takes a lock to
+	// read it.
+	active atomic.Pointer[activeCfg]
+	lastID atomic.Int64
+
 	// jmu guards the backoff jitter PRNG (conf.Resilience.Jitter), which
 	// concurrent batch executions share.
 	jmu sync.Mutex
 
-	mu         sync.Mutex
+	// pmu guards the interarrival parser, fed by every admitted request
+	// and read by the control loop.
+	pmu    sync.Mutex
+	parser *core.WorkloadParser
+
+	// smu guards lifecycle flags and control-loop tallies.
+	smu        sync.Mutex
 	started    bool
 	stopped    bool
-	cfg        lambda.Config
-	pending    []waiter
-	batchCfg   lambda.Config // parameters captured when the open batch started
-	timer      *time.Timer
-	parser     *core.WorkloadParser
-	lastID     int
-	served     int
-	invoked    int
 	reconfigs  int
-	latencies  []float64
-	totalCost  float64
-	retries    int
-	failures   int
-	failed     int
-	expired    int
-	shed       int
-	brOpens    int
 	decideErrs int
-	brState    BreakerState
-	brFails    int     // consecutive failed invocation attempts
-	brOpenedAt float64 // clock seconds of the last open transition
 
 	stop    chan struct{}
 	loopWG  sync.WaitGroup // control loop
@@ -352,6 +387,13 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 	}
 	if conf.WindowLen <= 0 {
 		conf.WindowLen = 64
+	}
+	if conf.Shards < 0 {
+		return nil, errors.New("gateway: negative shard count")
+	}
+	nShards := conf.Shards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
 	}
 	reg := conf.Obs
 	if reg == nil {
@@ -373,9 +415,19 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 		obs:     reg,
 		rec:     obs.NewRecorder(clock, conf.EventCap),
 		met:     met,
-		cfg:     conf.Initial,
+		initial: &activeCfg{cfg: conf.Initial, str: conf.Initial.String()},
 		parser:  core.NewWorkloadParser(conf.WindowLen),
 		stop:    make(chan struct{}),
+	}
+	fb := conf.Resilience.Fallback
+	if !fb.Valid() {
+		fb = conf.Initial
+	}
+	g.fallback = &activeCfg{cfg: fb, str: fb.String()}
+	g.active.Store(g.initial)
+	g.shards = make([]*shard, nShards)
+	for i := range g.shards {
+		g.shards[i] = newShard(g, i)
 	}
 	met.setConfig(conf.Initial)
 	g.Start()
@@ -385,8 +437,8 @@ func New(backend Backend, decide DecideFunc, conf Config) (*Gateway, error) {
 // Start launches the control loop. It is called by New; calling it again is
 // a no-op, as is calling it after Stop.
 func (g *Gateway) Start() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.smu.Lock()
+	defer g.smu.Unlock()
 	if g.started || g.stopped {
 		return
 	}
@@ -399,30 +451,38 @@ func (g *Gateway) Start() {
 }
 
 // Stop shuts the gateway down: it stops the control loop, flushes any
-// buffered requests, and joins every goroutine the gateway spawned — the
-// control loop, in-flight batch executions (whose remaining retry backoffs
-// are skipped once stop is signalled), and armed batch timers. It is
-// idempotent. Callers should drain their HTTP server first, so no new
-// requests arrive concurrently with the shutdown.
+// buffered requests (shard by shard, in shard order), and joins every
+// goroutine the gateway spawned — the control loop, in-flight batch
+// executions (whose remaining retry backoffs are skipped once stop is
+// signalled), and armed batch timers. It is idempotent. Callers should drain
+// their HTTP server first, so no new requests arrive concurrently with the
+// shutdown.
 func (g *Gateway) Stop() {
-	g.mu.Lock()
+	g.smu.Lock()
 	if g.stopped {
-		g.mu.Unlock()
+		g.smu.Unlock()
 		return
 	}
 	g.stopped = true
+	g.smu.Unlock()
 	close(g.stop)
-	batch, cfg := g.takeBatchLocked()
-	g.mu.Unlock()
-	if len(batch) > 0 {
-		g.execute(batch, cfg, causeFlush)
+	for _, s := range g.shards {
+		s.mu.Lock()
+		batch, ac := s.takeBatchLocked()
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.execute(batch, ac, causeFlush, nil)
+		}
 	}
 	g.loopWG.Wait()
 	g.timerWG.Wait()
 	g.execWG.Wait()
-	g.mu.Lock()
-	served := g.served
-	g.mu.Unlock()
+	served := 0
+	for _, s := range g.shards {
+		s.mu.Lock()
+		served += s.served
+		s.mu.Unlock()
+	}
 	g.rec.Event("stop", obs.I("served", served))
 }
 
@@ -436,6 +496,9 @@ func (g *Gateway) Obs() *obs.Registry { return g.obs }
 // Events returns the gateway's event recorder (reconfigurations, decide
 // errors, retries, breaker transitions, stop).
 func (g *Gateway) Events() *obs.Recorder { return g.rec }
+
+// Shards returns the number of batcher shards intake hashes across.
+func (g *Gateway) Shards() int { return len(g.shards) }
 
 // controlLoop periodically re-optimizes from the parser's window.
 func (g *Gateway) controlLoop() {
@@ -464,12 +527,13 @@ func (g *Gateway) DecideNow() {
 
 // decideOnce runs one decision cycle. Decide errors degrade gracefully: the
 // last good configuration stays active, the failure is counted, and a
-// decide_error event carries the reason.
+// decide_error event carries the reason. A configuration change swaps the
+// atomic pointer; shards pick it up when they open their next batch.
 func (g *Gateway) decideOnce() {
-	g.mu.Lock()
+	g.pmu.Lock()
 	full := g.parser.Full()
 	window := g.parser.Window()
-	g.mu.Unlock()
+	g.pmu.Unlock()
 	if !full {
 		return
 	}
@@ -480,61 +544,91 @@ func (g *Gateway) decideOnce() {
 			reason = err.Error()
 		}
 		g.met.decideErrs.Inc()
-		g.mu.Lock()
+		g.smu.Lock()
 		g.decideErrs++
-		g.mu.Unlock()
+		g.smu.Unlock()
 		g.rec.Event("decide_error", obs.S("error", reason))
 		return
 	}
-	g.mu.Lock()
-	if cfg != g.cfg {
-		old := g.cfg
-		g.cfg = cfg
+	g.smu.Lock()
+	cur := g.active.Load()
+	if cfg != cur.cfg {
+		g.active.Store(&activeCfg{cfg: cfg, str: cfg.String()})
 		g.reconfigs++
 		g.met.reconfigs.Inc()
 		g.met.setConfig(cfg)
 		g.rec.Event("reconfigure",
-			obs.S("from", old.String()), obs.S("to", cfg.String()))
+			obs.S("from", cur.str), obs.S("to", cfg.String()))
 	}
-	g.mu.Unlock()
+	g.smu.Unlock()
 }
 
 // Config returns the active configuration.
 func (g *Gateway) Config() lambda.Config {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cfg
+	return g.active.Load().cfg
 }
 
 // Stats returns the current stats document (the body of GET /stats).
+// Per-shard tallies are merged in shard order — a deterministic reduction,
+// so a serialized driver sees identical merged figures run to run.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	p95, _ := stats.Percentile(g.latencies, 95)
-	return Stats{
-		Served:           g.served,
-		Invocations:      g.invoked,
-		Reconfigurations: g.reconfigs,
-		VCRPercent:       stats.VCR(g.latencies, g.conf.SLO),
-		P95LatencyMS:     p95 * 1000,
-		TotalCostUSD:     g.totalCost,
-		Config:           g.cfg,
-		Retries:          g.retries,
-		BackendFailures:  g.failures,
-		FailedRequests:   g.failed,
-		DeadlineExpired:  g.expired,
-		Shed:             g.shed,
-		BreakerOpens:     g.brOpens,
-		BreakerState:     g.brState.String(),
-		DecideErrors:     g.decideErrs,
+	var st Stats
+	merged := BreakerClosed
+	var lat []float64
+	for _, s := range g.shards {
+		s.mu.Lock()
+		st.Served += s.served
+		st.Invocations += s.invoked
+		st.TotalCostUSD += s.totalCost
+		st.Retries += s.retries
+		st.BackendFailures += s.failures
+		st.FailedRequests += s.failed
+		st.DeadlineExpired += s.expired
+		st.Shed += s.shedCount
+		st.BreakerOpens += s.brOpens
+		lat = append(lat, s.lat.buf...)
+		switch s.brState {
+		case BreakerOpen:
+			merged = BreakerOpen
+		case BreakerHalfOpen:
+			if merged != BreakerOpen {
+				merged = BreakerHalfOpen
+			}
+		}
+		s.mu.Unlock()
 	}
+	p95, _ := stats.Percentile(lat, 95)
+	st.VCRPercent = stats.VCR(lat, g.conf.SLO)
+	st.P95LatencyMS = p95 * 1000
+	st.Config = g.active.Load().cfg
+	st.BreakerState = merged.String()
+	g.smu.Lock()
+	st.Reconfigurations = g.reconfigs
+	st.DecideErrors = g.decideErrs
+	g.smu.Unlock()
+	return st
 }
 
-// Breaker returns the current circuit-breaker state.
+// Breaker returns the merged circuit-breaker state across shards: Open if
+// any shard's breaker is open, else HalfOpen if any is probing, else Closed.
 func (g *Gateway) Breaker() BreakerState {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.brState
+	return g.mergedBreakerState()
+}
+
+// mergedBreakerState folds the per-shard breaker states (read from their
+// lock-free mirrors, so shards can call this while holding their own mu)
+// into the severity-ordered merged state the gauge and /stats report.
+func (g *Gateway) mergedBreakerState() BreakerState {
+	merged := BreakerClosed
+	for _, s := range g.shards {
+		switch BreakerState(s.brMirror.Load()) {
+		case BreakerOpen:
+			return BreakerOpen
+		case BreakerHalfOpen:
+			merged = BreakerHalfOpen
+		}
+	}
+	return merged
 }
 
 // Handler returns the HTTP mux: POST /infer, GET /stats, GET /config,
@@ -576,197 +670,100 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Enqueue submits one inference request, stamped with the gateway clock,
-// and returns its completion channel — the programmatic equivalent of
-// POST /infer, used by the HTTP handler and the chaos harness alike.
-func (g *Gateway) Enqueue() <-chan Response {
-	now := g.clock.Now()
-	g.mu.Lock()
-	g.lastID++
+// observeArrival feeds the interarrival parser. Skipped entirely without a
+// decide function — nothing would ever read the window, and the skip keeps
+// the static-configuration admit path free of the parser lock.
+func (g *Gateway) observeArrival(now float64) {
+	if g.decide == nil {
+		return
+	}
+	g.pmu.Lock()
 	g.parser.Observe(now)
-	wtr := waiter{id: g.lastID, arriveAt: now, done: make(chan Response, 1)}
-	if len(g.pending) == 0 {
-		// Opening a new batch: snapshot the active parameters and arm the
-		// timeout.
-		g.batchCfg = g.cfg
-		g.pending = append(g.pending, wtr)
-		g.met.pending.Set(1)
-		if g.batchCfg.BatchSize > 1 && g.batchCfg.TimeoutS > 0 {
-			g.armTimerLocked(time.Duration(g.batchCfg.TimeoutS * float64(time.Second)))
-		} else {
-			// B = 1 or T = 0: serve immediately, no accumulation.
-			batch, cfg := g.takeBatchLocked()
-			g.mu.Unlock()
-			g.spawnExecute(batch, cfg, causeImmediate)
-			return wtr.done
-		}
-		g.mu.Unlock()
-		return wtr.done
-	}
-	g.pending = append(g.pending, wtr)
-	g.met.pending.Set(float64(len(g.pending)))
-	if len(g.pending) >= g.batchCfg.BatchSize {
-		batch, cfg := g.takeBatchLocked()
-		g.mu.Unlock()
-		g.spawnExecute(batch, cfg, causeSize)
-		return wtr.done
-	}
-	g.mu.Unlock()
-	return wtr.done
+	g.pmu.Unlock()
 }
 
-// armTimerLocked starts the batch timeout and registers it with timerWG so
-// Stop can join it whether it fires or is cancelled. Callers hold mu.
-func (g *Gateway) armTimerLocked(d time.Duration) {
-	g.timerWG.Add(1)
-	g.timer = time.AfterFunc(d, func() {
-		defer g.timerWG.Done()
-		g.flushTimeout()
-	})
+// admitShard stamps a new request with the gateway clock and a fresh ID and
+// routes it to its shard.
+func (g *Gateway) admitShard() (s *shard, id int, now float64) {
+	now = g.clock.Now()
+	id = int(g.lastID.Add(1))
+	g.observeArrival(now)
+	return g.shards[shardOf(uint64(id), len(g.shards))], id, now
+}
+
+// Enqueue submits one inference request, stamped with the gateway clock,
+// and returns its completion channel — the programmatic equivalent of
+// POST /infer, used by the HTTP handler and the chaos harness alike. Each
+// call allocates a fresh waiter and channel (the handler may abandon them on
+// client cancel) and dispatches full batches asynchronously; latency-
+// critical in-process callers should prefer the pooled Submit/Do path.
+func (g *Gateway) Enqueue() <-chan Response {
+	s, id, now := g.admitShard()
+	w := &waiter{id: id, arriveAt: now, ch: make(chan Response, 1)}
+	if batch, ac, cause := s.enqueueWaiter(w); batch != nil {
+		g.spawnExecute(s, batch, ac, cause)
+	}
+	return w.ch
+}
+
+// Handle is the pooled completion handle for one Submit-ed request. Wait
+// must be called exactly once; it returns the response and recycles the
+// underlying waiter. The zero Handle is invalid.
+type Handle struct {
+	w *waiter
+	s *shard
+	// direct marks a request whose own Submit dispatched its batch
+	// synchronously: the response is already in w.resp (written by this
+	// goroutine inside execute), so Wait skips the channel.
+	direct bool
+}
+
+// Wait blocks for the response, then returns the waiter to its shard's
+// free-list. The Handle must not be used again.
+func (h Handle) Wait() Response {
+	var resp Response
+	if h.direct {
+		resp = h.w.resp
+	} else {
+		resp = <-h.w.ch
+	}
+	h.s.putWaiter(h.w)
+	return resp
+}
+
+// Submit is the zero-alloc admit path: it enqueues one request on a pooled
+// waiter and returns its completion handle. When the request fills a batch
+// (B = 1, T = 0, or the size trigger), the batch executes synchronously on
+// the caller's goroutine — the submitting request pays for its own dispatch
+// instead of a handoff to a spawned goroutine. Unlike Enqueue, the caller
+// MUST consume the response via Handle.Wait (abandoning a handle leaks its
+// waiter from the pool).
+func (g *Gateway) Submit() Handle {
+	s, id, now := g.admitShard()
+	w, batch, ac, cause := s.submitPooled(id, now)
+	if batch != nil {
+		// w is always a member of the batch its own submission completed,
+		// so execute delivers its response by direct field write.
+		s.execute(batch, ac, cause, w)
+		return Handle{w: w, s: s, direct: true}
+	}
+	return Handle{w: w, s: s}
+}
+
+// Do submits one request and waits for its response — the pooled,
+// allocation-free equivalent of draining Enqueue's channel.
+func (g *Gateway) Do() Response {
+	return g.Submit().Wait()
 }
 
 // spawnExecute runs a batch asynchronously, tracked by execWG.
-func (g *Gateway) spawnExecute(batch []waiter, cfg lambda.Config, cause string) {
+func (g *Gateway) spawnExecute(s *shard, batch []*waiter, ac *activeCfg, cause string) {
 	g.execWG.Add(1)
 	//lint:allow goroutine-discipline request-scoped batch execution; joined on each waiter's done channel by handleInfer and via execWG.Wait in Stop
 	go func() {
 		defer g.execWG.Done()
-		g.execute(batch, cfg, cause)
+		s.execute(batch, ac, cause, nil)
 	}()
-}
-
-// flushTimeout dispatches the open batch when its timer fires.
-func (g *Gateway) flushTimeout() {
-	g.mu.Lock()
-	batch, cfg := g.takeBatchLocked()
-	g.mu.Unlock()
-	if len(batch) > 0 {
-		g.execute(batch, cfg, causeTimeout)
-	}
-}
-
-// takeBatchLocked removes and returns the pending batch together with the
-// parameters it was opened under. Callers hold mu.
-func (g *Gateway) takeBatchLocked() ([]waiter, lambda.Config) {
-	batch := g.pending
-	g.pending = nil
-	g.met.pending.Set(0)
-	if g.timer != nil {
-		if g.timer.Stop() {
-			// The callback will never run; release its timerWG slot here.
-			g.timerWG.Done()
-		}
-		g.timer = nil
-	}
-	return batch, g.batchCfg
-}
-
-// expireBatch fails fast every waiter whose per-request deadline has passed
-// and returns the survivors. It runs before the first attempt and after
-// every retry backoff, so a struggling backend cannot hold requests past
-// their deadline.
-func (g *Gateway) expireBatch(batch []waiter) []waiter {
-	r := g.conf.Resilience
-	if r.RequestTimeoutS <= 0 {
-		return batch
-	}
-	now := g.clock.Now()
-	live := batch[:0]
-	var dead []waiter
-	for _, w := range batch {
-		if now-w.arriveAt > r.RequestTimeoutS {
-			dead = append(dead, w)
-		} else {
-			live = append(live, w)
-		}
-	}
-	if len(dead) == 0 {
-		return batch
-	}
-	g.met.expired.Add(float64(len(dead)))
-	g.mu.Lock()
-	g.expired += len(dead)
-	g.mu.Unlock()
-	g.rec.Event("deadline_expired", obs.I("requests", len(dead)))
-	for _, w := range dead {
-		w.done <- Response{
-			ID:        w.id,
-			LatencyMS: (now - w.arriveAt) * 1000,
-			Error:     ErrDeadlineExceeded.Error(),
-		}
-	}
-	return live
-}
-
-// admit applies the circuit breaker to a batch about to execute: while the
-// breaker is open it substitutes the safe fallback configuration (shedding);
-// once the cooldown has elapsed it transitions to half-open and lets the
-// batch probe the active configuration.
-func (g *Gateway) admit(cfg lambda.Config) (lambda.Config, bool) {
-	r := g.conf.Resilience
-	if r.BreakerThreshold <= 0 {
-		return cfg, false
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.brState != BreakerOpen {
-		return cfg, false
-	}
-	if g.clock.Now()-g.brOpenedAt >= r.BreakerCooldownS {
-		g.brState = BreakerHalfOpen
-		g.met.brState.Set(float64(BreakerHalfOpen))
-		g.rec.Event("breaker_half_open")
-		return cfg, false
-	}
-	fb := r.Fallback
-	if !fb.Valid() {
-		fb = g.conf.Initial
-	}
-	return fb, true
-}
-
-// noteFailure records one failed invocation attempt against the breaker.
-func (g *Gateway) noteFailure() {
-	g.met.failures.Inc()
-	g.mu.Lock()
-	g.failures++
-	r := g.conf.Resilience
-	if r.BreakerThreshold > 0 {
-		g.brFails++
-		open := false
-		switch g.brState {
-		case BreakerHalfOpen:
-			// Failed probe: reopen immediately.
-			open = true
-		case BreakerClosed:
-			open = g.brFails >= r.BreakerThreshold
-		}
-		if open {
-			g.brState = BreakerOpen
-			g.brOpenedAt = g.clock.Now()
-			g.brOpens++
-			g.met.brOpens.Inc()
-			g.met.brState.Set(float64(BreakerOpen))
-			g.rec.Event("breaker_open", obs.I("consecutive_failures", g.brFails))
-		}
-	}
-	g.mu.Unlock()
-}
-
-// noteSuccess resets the consecutive-failure count and closes the breaker
-// after a successful half-open probe.
-func (g *Gateway) noteSuccess() {
-	if g.conf.Resilience.BreakerThreshold <= 0 {
-		return
-	}
-	g.mu.Lock()
-	g.brFails = 0
-	if g.brState == BreakerHalfOpen {
-		g.brState = BreakerClosed
-		g.met.brState.Set(float64(BreakerClosed))
-		g.rec.Event("breaker_close")
-	}
-	g.mu.Unlock()
 }
 
 // backoff returns the wait before retry attempt (0-based): exponential from
@@ -801,108 +798,6 @@ func (g *Gateway) sleepInterruptible(d time.Duration) {
 	case <-t.C:
 	case <-g.stop:
 	}
-}
-
-// failBatch answers every waiter with the given terminal error.
-func (g *Gateway) failBatch(batch []waiter, cause error, attempts int) {
-	now := g.clock.Now()
-	g.met.failedReqs.Add(float64(len(batch)))
-	g.mu.Lock()
-	g.failed += len(batch)
-	g.mu.Unlock()
-	g.rec.Event("batch_failed", obs.I("requests", len(batch)), obs.I("attempts", attempts))
-	for _, w := range batch {
-		w.done <- Response{
-			ID:        w.id,
-			BatchSize: len(batch),
-			LatencyMS: (now - w.arriveAt) * 1000,
-			Error:     cause.Error(),
-		}
-	}
-}
-
-// execute runs a batch on the backend — retrying failures with capped,
-// jittered exponential backoff, expiring per-request deadlines between
-// attempts, and honouring the circuit breaker — then resolves every waiter.
-func (g *Gateway) execute(batch []waiter, cfg lambda.Config, cause string) {
-	if len(batch) == 0 {
-		// Empty-batch race: a timeout flush can lose the race with a
-		// size/flush dispatch that already drained the queue. Never invoke
-		// the backend — or count an invocation — for nothing.
-		return
-	}
-	if cfg.BatchSize == 0 {
-		cfg = g.conf.Initial
-	}
-	if batch = g.expireBatch(batch); len(batch) == 0 {
-		return
-	}
-	useCfg, shedding := g.admit(cfg)
-	var dur time.Duration
-	var cost float64
-	attempt := 0
-	for {
-		var err error
-		dur, cost, err = g.backend.Execute(useCfg, len(batch))
-		if err == nil {
-			g.noteSuccess()
-			break
-		}
-		g.noteFailure()
-		if attempt >= g.conf.Resilience.MaxRetries {
-			g.failBatch(batch, ErrBackendFailed, attempt+1)
-			return
-		}
-		wait := g.backoff(attempt)
-		g.met.retries.Inc()
-		g.mu.Lock()
-		g.retries++
-		g.mu.Unlock()
-		g.rec.Event("retry",
-			obs.I("attempt", attempt+1), obs.I("batch", len(batch)),
-			obs.F("backoff_s", wait.Seconds()))
-		g.sleepInterruptible(wait)
-		attempt++
-		if batch = g.expireBatch(batch); len(batch) == 0 {
-			return
-		}
-	}
-	finished := g.clock.Now()
-	per := cost / float64(len(batch))
-	g.met.invocations.Inc()
-	g.met.cost.Add(cost)
-	g.met.batchSize.Observe(float64(len(batch)))
-	if c := g.met.dispatch[cause]; c != nil {
-		c.Inc()
-	}
-	if shedding {
-		g.met.shed.Add(float64(len(batch)))
-	}
-	g.mu.Lock()
-	g.invoked++
-	g.totalCost += cost
-	if shedding {
-		g.shed += len(batch)
-	}
-	for _, wtr := range batch {
-		lat := finished - wtr.arriveAt
-		g.served++
-		g.latencies = append(g.latencies, lat)
-		g.met.requests.Inc()
-		g.met.latency.Observe(lat)
-		if g.conf.SLO > 0 && lat > g.conf.SLO {
-			g.met.violations.Inc()
-		}
-		wtr.done <- Response{
-			ID:        wtr.id,
-			BatchSize: len(batch),
-			LatencyMS: lat * 1000,
-			CostUSD:   per,
-			Config:    useCfg.String(),
-		}
-	}
-	_ = dur
-	g.mu.Unlock()
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -290,8 +290,8 @@ func TestFlushTimeoutOnEmptyQueueCountsNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	g.flushTimeout()
-	g.execute(nil, lambda.Config{}, causeTimeout)
+	g.shards[0].flushTimeout()
+	g.shards[0].execute(nil, nil, causeTimeout, nil)
 	s := g.Stats()
 	if s.Invocations != 0 || s.Served != 0 {
 		t.Fatalf("empty flush counted work: %+v", s)

@@ -1,0 +1,34 @@
+//go:build poolcheck
+
+package gateway
+
+import "fmt"
+
+// Pool-hygiene instrumentation (poolcheck build tag): a waiter is poisoned
+// when it enters the free-list and verified still-poisoned when it leaves.
+// Any recycling bug — a stale response left in the completion channel, a
+// waiter put back twice, a live waiter recycled — panics at the earliest
+// put/get instead of silently aliasing a later request's response. `make
+// race` runs the gateway tests with this tag on.
+
+// poisonID is an ID no real request ever carries (IDs start at 1).
+const poisonID = -0x5EED
+
+func poisonWaiter(w *waiter) {
+	if w.id == poisonID {
+		panic("gateway: pooled waiter put back twice")
+	}
+	if len(w.ch) != 0 {
+		panic(fmt.Sprintf("gateway: waiter %d recycled with an unconsumed response", w.id))
+	}
+	w.id = poisonID
+}
+
+func checkWaiterClean(w *waiter) {
+	if w.id != poisonID {
+		panic(fmt.Sprintf("gateway: pooled waiter dirty on reuse (id=%d)", w.id))
+	}
+	if len(w.ch) != 0 {
+		panic("gateway: pooled waiter has a pending response on reuse")
+	}
+}

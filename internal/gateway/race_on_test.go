@@ -1,0 +1,8 @@
+//go:build race
+
+package gateway
+
+// raceEnabled reports that this binary was built with -race. The race
+// detector adds bookkeeping allocations, so allocation-budget tests must
+// skip under it.
+const raceEnabled = true
