@@ -12,8 +12,10 @@ GO ?= go
 # pools waiters across shard mutexes and a lock-free exchange slot), the
 # fault-injection layer (whose FaultyBackend counter is hit from concurrent
 # batch executions), the observability registry/recorder hammered from many
-# goroutines, and the load generator's closed-loop worker pool.
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/...
+# goroutines, the load generator's closed-loop worker pool, and the analysis
+# engine (whose loader type-checks packages while tests run fixtures in
+# parallel).
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/...
 
 # Per-package coverage floors enforced by `make cover` (see the cover target).
 COVER_FLOOR_GATEWAY = 80

@@ -26,14 +26,40 @@
 //   - obs-register: library code registers internal/obs metrics through the
 //     error-returning methods, never the panicking Must* wrappers —
 //     duplicate registration must error, not crash the process.
+//   - hotpath-alloc: the call closure of a function annotated
+//     `//deepbat:hotpath` must be allocation-free: no make/new, no append,
+//     no escaping composite literals, no closures or goroutine launches, no
+//     interface boxing, no fmt/string building, no map or channel
+//     operations. The dynamic counterpart is the AllocsPerRun gates in
+//     cmd/bench; this rule also covers the cold branches a benchmark never
+//     exercises.
+//   - pool-ownership: values obtained from a pool Get (tensor.ScratchPool,
+//     the gateway waiter/batch free-lists) are tracked through the
+//     function: double-Put, use-after-Put, and storing a live pooled value
+//     to the heap are errors — the static counterpart of the poolcheck
+//     build tag's runtime poisoning.
+//   - atomics-discipline: a struct field touched through function-style
+//     sync/atomic calls anywhere in the module must never be read or
+//     written plainly elsewhere; structs containing sync/atomic state must
+//     not be copied; and `//deepbat:hotpath` code must not acquire a lock
+//     its non-hotpath caller already holds (two-level lock-order check).
 //
 // Deliberate exceptions are documented in the source with
 //
 //	//lint:allow <rule> <reason>
 //
 // on the offending line or the line directly above it. A directive without
-// both a rule and a reason is itself reported (rule "directive"), so
-// exemptions can never be silent.
+// both a rule and a reason is itself reported (rule "directive"), as is a
+// directive naming a rule that does not exist — exemptions can never be
+// silent or silently stale. One comment may carry several directives
+// (`//lint:allow ruleA why //lint:allow ruleB why`).
+//
+// For the call-graph rules (hotpath-alloc), an allow directive at a call
+// site both suppresses findings on that line and cuts traversal into the
+// callee: the waiver vouches for the whole subtree behind the call, which
+// keeps waiver noise out of callee packages (internal/obs may allocate;
+// the hot path documents, at its own call sites, why calling into it is
+// acceptable).
 package analysis
 
 import (
@@ -43,6 +69,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -68,6 +95,8 @@ type Package struct {
 
 // Program is the full set of packages loaded for one lint run, plus the
 // indexes analyzers share (function declarations across the whole module).
+// A Program is loaded and type-checked once and then shared by every rule
+// in the run — rules must not re-parse (see LoadModule / LoadDirs).
 type Program struct {
 	Fset     *token.FileSet
 	Module   string // module path from go.mod
@@ -75,6 +104,13 @@ type Program struct {
 
 	decls   map[*types.Func]*ast.FuncDecl
 	declPkg map[*types.Func]*Package
+
+	// allows is the parsed //lint:allow suppression set, built once per
+	// program by buildAllows (Run does it; analyzers that cut call-graph
+	// edges at waived call sites query it through allowedAt).
+	allows        map[allowKey]bool
+	badDirectives []Finding
+	allowsBuilt   bool
 }
 
 // Analyzer is one lint rule. Analyze is called once per loaded package and
@@ -94,6 +130,9 @@ func Analyzers() []Analyzer {
 		&Goroutine{},
 		&NoPrint{},
 		&ObsRegister{},
+		&HotPathAlloc{},
+		&PoolOwnership{},
+		&AtomicsDiscipline{},
 	}
 }
 
@@ -185,55 +224,110 @@ type allowKey struct {
 	rule string
 }
 
-// collectAllows parses every //lint:allow directive in the program. It
-// returns the suppression set and findings for malformed directives (missing
-// rule or reason).
-func collectAllows(prog *Program) (map[allowKey]bool, []Finding) {
-	allows := make(map[allowKey]bool)
-	var bad []Finding
-	for _, pkg := range prog.Packages {
+// KnownRules returns the names every //lint:allow directive may legally
+// reference: the full rule set plus "directive" itself. Validation always
+// uses the full set, even when a run selects a rule subset — a waiver for an
+// unselected rule is not an unknown rule.
+func KnownRules() map[string]bool {
+	known := map[string]bool{"directive": true}
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	return known
+}
+
+// buildAllows parses every //lint:allow directive in the program into the
+// suppression set, recording malformed directives (missing rule or reason)
+// and directives naming unknown rules as findings. One comment may carry
+// several directives; each needs its own rule and reason. Idempotent.
+func (p *Program) buildAllows() {
+	if p.allowsBuilt {
+		return
+	}
+	p.allowsBuilt = true
+	p.allows = make(map[allowKey]bool)
+	known := KnownRules()
+	for _, pkg := range p.Packages {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
-					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
-					if !ok {
+					// Only a comment that starts with the marker is a
+					// directive; prose that merely mentions //lint:allow
+					// mid-sentence is not parsed.
+					if !strings.HasPrefix(c.Text, "//lint:allow") {
 						continue
 					}
-					pos := prog.Fset.Position(c.Pos())
-					fields := strings.Fields(text)
-					if len(fields) < 2 {
-						bad = append(bad, Finding{
-							Pos:  pos,
-							Rule: "directive",
-							Msg:  "malformed //lint:allow: need `//lint:allow <rule> <reason>`",
-						})
-						continue
+					pos := p.Fset.Position(c.Pos())
+					// Split the comment on directive markers: the text after
+					// each marker up to the next marker is one directive.
+					parts := strings.Split(c.Text, "//lint:allow")
+					for _, part := range parts[1:] {
+						fields := strings.Fields(part)
+						if len(fields) < 2 {
+							p.badDirectives = append(p.badDirectives, Finding{
+								Pos:  pos,
+								Rule: "directive",
+								Msg:  "malformed //lint:allow: need `//lint:allow <rule> <reason>`",
+							})
+							continue
+						}
+						if !known[fields[0]] {
+							p.badDirectives = append(p.badDirectives, Finding{
+								Pos:  pos,
+								Rule: "directive",
+								Msg:  fmt.Sprintf("//lint:allow names unknown rule %q; a stale or misspelled waiver would silently suppress nothing", fields[0]),
+							})
+							continue
+						}
+						p.allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
 					}
-					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
 				}
 			}
 		}
 	}
-	return allows, bad
+}
+
+// allowedAt reports whether a finding of the given rule at pos is waived by
+// a directive on its line or the line directly above. Analyzers that walk
+// call graphs use this to cut traversal at waived call sites.
+func (p *Program) allowedAt(pos token.Position, rule string) bool {
+	p.buildAllows()
+	return p.allows[allowKey{pos.Filename, pos.Line, rule}] ||
+		p.allows[allowKey{pos.Filename, pos.Line - 1, rule}]
+}
+
+// RuleTime is the wall time one rule spent analyzing the whole program
+// (type-checking is shared and excluded — the program is loaded once per
+// run, not once per rule).
+type RuleTime struct {
+	Rule     string
+	Duration time.Duration
 }
 
 // Run executes the analyzers over every loaded package, filters findings
 // through //lint:allow directives, and returns the survivors sorted by
 // position. Malformed directives are themselves findings.
 func Run(prog *Program, analyzers []Analyzer) []Finding {
-	allows, findings := collectAllows(prog)
-	for _, pkg := range prog.Packages {
-		for _, a := range analyzers {
+	findings, _ := RunTimed(prog, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus a per-rule wall-time report, in analyzer order.
+func RunTimed(prog *Program, analyzers []Analyzer) ([]Finding, []RuleTime) {
+	prog.buildAllows()
+	findings := append([]Finding(nil), prog.badDirectives...)
+	times := make([]RuleTime, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		for _, pkg := range prog.Packages {
 			for _, f := range a.Analyze(prog, pkg) {
-				// A directive on the finding's line or the line directly
-				// above suppresses it.
-				if allows[allowKey{f.Pos.Filename, f.Pos.Line, f.Rule}] ||
-					allows[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Rule}] {
+				if prog.allowedAt(f.Pos, f.Rule) {
 					continue
 				}
 				findings = append(findings, f)
 			}
 		}
+		times = append(times, RuleTime{Rule: a.Name(), Duration: time.Since(start)})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -248,5 +342,5 @@ func Run(prog *Program, analyzers []Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
+	return findings, times
 }

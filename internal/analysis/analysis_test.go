@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"deepbat/internal/analysis"
 )
@@ -108,7 +109,10 @@ func sortedKeys(es []expectation) []string {
 // //lint:allow suppression honored.
 func TestFixtures(t *testing.T) {
 	root := moduleRoot(t)
-	fixtures := []string{"determinism", "nograd", "floatcompare", "goroutine", "noprint", "obsregister", "badallow"}
+	fixtures := []string{
+		"determinism", "nograd", "floatcompare", "goroutine", "noprint",
+		"obsregister", "badallow", "hotpathalloc", "poolownership", "atomicsdiscipline",
+	}
 	for _, name := range fixtures {
 		name := name
 		t.Run(name, func(t *testing.T) {
@@ -143,6 +147,38 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(findings) > 0 {
 		t.Errorf("repository is not lint-clean: %d finding(s)", len(findings))
+	}
+}
+
+// TestRuleTimings runs the full rule suite over the whole module once and
+// asserts the analysis phase fits a total wall-time budget. The budget
+// excludes loading: the Program is type-checked once and shared, so each
+// rule is a plain AST/type-info walk — if a rule starts re-parsing or
+// walking superlinearly, this trips long before CI times out.
+func TestRuleTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	_, times := analysis.RunTimed(prog, analysis.Analyzers())
+	if len(times) != len(analysis.Analyzers()) {
+		t.Fatalf("got %d rule timings, want %d", len(times), len(analysis.Analyzers()))
+	}
+	var total time.Duration
+	for _, rt := range times {
+		if rt.Duration < 0 {
+			t.Errorf("rule %s reports negative duration %v", rt.Rule, rt.Duration)
+		}
+		t.Logf("%-22s %v", rt.Rule, rt.Duration)
+		total += rt.Duration
+	}
+	const budget = 5 * time.Second
+	if total > budget {
+		t.Errorf("full rule suite took %v over the shared Program, budget %v", total, budget)
 	}
 }
 

@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicsDiscipline enforces three memory-model disciplines over the whole
+// module:
+//
+//  1. Mixed access: a variable or struct field whose address is passed to a
+//     function-style sync/atomic call anywhere in the module must never be
+//     read or written plainly elsewhere — a single plain access next to
+//     atomic ones is a data race the race detector only catches when the
+//     interleaving happens to occur.
+//  2. Copies: a struct containing sync or sync/atomic state (Mutex,
+//     WaitGroup, atomic.Int64, atomic.Pointer, ...) must not be copied by
+//     value — the copy shares nothing with the original and silently forks
+//     the lock or counter. Value receivers on such types are the same bug
+//     at declaration time.
+//  3. Lock order: a function annotated `//deepbat:hotpath` (or anything in
+//     its call closure) must not acquire a lock that a non-hotpath caller
+//     already holds at the call site — the two-level check that keeps the
+//     latency-critical path from deadlocking behind slow-path critical
+//     sections.
+//
+// Facts (atomic variables, per-function lock acquisitions, call edges,
+// hotpath annotations) are collected once per Program and shared across the
+// per-package Analyze calls.
+type AtomicsDiscipline struct {
+	prog *Program
+
+	atomicVars map[*types.Var]bool // address taken by a sync/atomic function
+	sanctioned map[token.Pos]bool  // ident positions inside atomic call args
+	atomicSite map[*types.Var]token.Position
+
+	acquires map[*types.Func]map[*types.Var]bool // direct lock acquisitions
+	calls    map[*types.Func][]*types.Func       // static call edges
+	hot      map[*types.Func]bool                // //deepbat:hotpath roots
+	closure  map[*types.Func]map[*types.Var]bool // memoized acquire closures
+}
+
+// Name implements Analyzer.
+func (*AtomicsDiscipline) Name() string { return "atomics-discipline" }
+
+// isSyncPkg reports whether pkg is sync or sync/atomic.
+func isSyncPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}
+
+// containsSyncState reports whether t is, or holds by value, a struct type
+// from sync or sync/atomic. Interfaces (sync.Locker) are not state and do
+// not count; pointers break containment.
+func containsSyncState(t types.Type, depth int) bool {
+	if depth > 8 || t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if isSyncPkg(t.Obj().Pkg()) {
+			_, isIface := t.Underlying().(*types.Interface)
+			return !isIface
+		}
+		return containsSyncState(t.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsSyncState(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncState(t.Elem(), depth+1)
+	}
+	return false
+}
+
+// addrVarIdent unwraps `&x` or `&s.f` to the identifier naming the variable
+// whose address is taken, or nil.
+func addrVarIdent(arg ast.Expr) *ast.Ident {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// lockCallVar resolves x in `x.Lock()` / `x.RLock()` (and the Unlock pair)
+// to the mutex variable, returning the variable and the method name.
+func lockCallVar(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || !isSyncPkg(fn.Pkg()) {
+		return nil, ""
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil, ""
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v, sel.Sel.Name
+}
+
+// build collects the module-wide facts once per Program.
+func (r *AtomicsDiscipline) build(prog *Program) {
+	if r.prog == prog {
+		return
+	}
+	r.prog = prog
+	r.atomicVars = make(map[*types.Var]bool)
+	r.sanctioned = make(map[token.Pos]bool)
+	r.atomicSite = make(map[*types.Var]token.Position)
+	r.acquires = make(map[*types.Func]map[*types.Var]bool)
+	r.calls = make(map[*types.Func][]*types.Func)
+	r.hot = make(map[*types.Func]bool)
+	r.closure = make(map[*types.Func]map[*types.Var]bool)
+
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if funcHasAnnotation(fd, "deepbat:hotpath") {
+					r.hot[fn] = true
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					// Function-style sync/atomic call: the addressed
+					// variable becomes atomic-only everywhere.
+					if callee := calleeFunc(info, call); callee != nil {
+						if isSyncPkg(callee.Pkg()) && callee.Type().(*types.Signature).Recv() == nil {
+							for _, arg := range call.Args {
+								id := addrVarIdent(arg)
+								if id == nil {
+									continue
+								}
+								if v, ok := info.Uses[id].(*types.Var); ok {
+									r.atomicVars[v] = true
+									r.sanctioned[id.Pos()] = true
+									if _, seen := r.atomicSite[v]; !seen {
+										r.atomicSite[v] = prog.Fset.Position(call.Pos())
+									}
+								}
+							}
+						}
+						if decl, _ := prog.FuncDecl(callee); decl != nil {
+							r.calls[fn] = append(r.calls[fn], callee)
+						}
+					}
+					if v, method := lockCallVar(info, call); v != nil && (method == "Lock" || method == "RLock") {
+						if r.acquires[fn] == nil {
+							r.acquires[fn] = make(map[*types.Var]bool)
+						}
+						r.acquires[fn][v] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// acquireClosure returns every lock fn or its static callees may acquire.
+func (r *AtomicsDiscipline) acquireClosure(fn *types.Func) map[*types.Var]bool {
+	if c, ok := r.closure[fn]; ok {
+		return c
+	}
+	out := make(map[*types.Var]bool)
+	r.closure[fn] = out // cycle guard: fixpoint over-approximates to the partial set
+	for v := range r.acquires[fn] {
+		out[v] = true
+	}
+	for _, callee := range r.calls[fn] {
+		for v := range r.acquireClosure(callee) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Analyze implements Analyzer.
+func (r *AtomicsDiscipline) Analyze(prog *Program, pkg *Package) []Finding {
+	r.build(prog)
+	var out []Finding
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			// Part 2 (declaration form): a value receiver on a type
+			// holding sync/atomic state copies it on every call.
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if t := info.TypeOf(fd.Recv.List[0].Type); t != nil {
+					if _, isPtr := t.(*types.Pointer); !isPtr && containsSyncState(t, 0) {
+						out = append(out, Finding{
+							Pos:  prog.Fset.Position(fd.Recv.Pos()),
+							Rule: "atomics-discipline",
+							Msg:  fmt.Sprintf("value receiver copies %s, which contains sync/atomic state; use a pointer receiver", types.TypeString(t, types.RelativeTo(pkg.Types))),
+						})
+					}
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, r.checkBody(prog, pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// checkBody walks one function for plain accesses of atomic variables,
+// by-value copies of sync-bearing structs, and hotpath calls made under a
+// held lock.
+func (r *AtomicsDiscipline) checkBody(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	info := pkg.Info
+	held := make(map[*types.Var]bool)
+	deferred := make(map[*ast.CallExpr]bool)
+
+	copyCheck := func(e ast.Expr) {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return
+		}
+		t := info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if containsSyncState(t, 0) {
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(e.Pos()),
+				Rule: "atomics-discipline",
+				Msg:  fmt.Sprintf("copies a value of type %s, which contains sync/atomic state; share it by pointer", types.TypeString(t, types.RelativeTo(pkg.Types))),
+			})
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return, not here: the lock
+			// stays lexically held for the rest of the body.
+			deferred[n.Call] = true
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				copyCheck(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				copyCheck(v)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				copyCheck(res)
+			}
+		case *ast.SendStmt:
+			copyCheck(n.Value)
+		case *ast.CallExpr:
+			if v, method := lockCallVar(info, n); v != nil {
+				switch method {
+				case "Lock", "RLock":
+					held[v] = true
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						delete(held, v)
+					}
+				}
+				return true
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			if !isSyncPkg(callee.Pkg()) {
+				for _, arg := range n.Args {
+					copyCheck(arg)
+				}
+			}
+			// Part 3: calling into a hotpath closure while holding a lock
+			// that closure also acquires.
+			if r.hot[callee] && !r.hot[funcOf(info, fd)] {
+				for v := range r.acquireClosure(callee) {
+					if held[v] {
+						out = append(out, Finding{
+							Pos:  prog.Fset.Position(n.Pos()),
+							Rule: "atomics-discipline",
+							Msg:  fmt.Sprintf("calls //deepbat:hotpath function %s while holding %q, a lock its closure acquires; the hot path would deadlock behind this slow-path critical section", callee.Name(), v.Name()),
+						})
+					}
+				}
+			}
+		case *ast.Ident:
+			// Part 1: plain access of an atomically-accessed variable.
+			if v, ok := info.Uses[n].(*types.Var); ok && r.atomicVars[v] && !r.sanctioned[n.Pos()] {
+				site := r.atomicSite[v]
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(n.Pos()),
+					Rule: "atomics-discipline",
+					Msg:  fmt.Sprintf("plain access of %q, which is accessed via sync/atomic at %s:%d; mixing plain and atomic access is a data race", v.Name(), site.Filename, site.Line),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcOf resolves the *types.Func a declaration defines.
+func funcOf(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	return fn
+}

@@ -1,0 +1,47 @@
+// Clean and waived atomics-discipline cases: consistently atomic access,
+// pointer sharing, a reasoned waiver for a cold-path debug copy, and a
+// hotpath call made without holding its lock.
+package atomicsdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct{ v int64 }
+
+// Bump and Load agree: v is touched only through sync/atomic.
+func Bump(g *gauge) {
+	atomic.AddInt64(&g.v, 1)
+}
+
+func Load(g *gauge) int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+// Borrow shares the counter by pointer: no copy, no race.
+func Borrow(c *counter) *counter {
+	return c
+}
+
+type meta struct {
+	mu   sync.Mutex
+	name string
+}
+
+// NameOf copies a sync-bearing struct on a cold debug path and says why
+// that is acceptable.
+func NameOf(m *meta) string {
+	//lint:allow atomics-discipline cold debug snapshot; the copy is read-only and discarded
+	cp := *m
+	return cp.name
+}
+
+// coldScale calls into the hot closure without holding any lock it
+// acquires: the lock-order check passes.
+func coldScale(e *engine) {
+	hotBump(e)
+	e.mu.Lock()
+	e.v--
+	e.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+// Package atomicsdiscipline is a deepbatlint fixture: seeded violations of
+// the atomics-discipline rule — plain access of atomically-touched fields,
+// by-value copies of sync-bearing structs, and a hotpath call made under a
+// lock the hot closure re-acquires.
+package atomicsdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// IncAtomic is the sanctioning access: from here on, n is atomic-only.
+func IncAtomic(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// ReadPlain races IncAtomic: an unsynchronized read of an atomic field.
+func ReadPlain(c *counter) int64 {
+	return c.n // want atomics-discipline
+}
+
+// WritePlain is the same race in the store direction.
+func WritePlain(c *counter, v int64) {
+	c.n = v // want atomics-discipline
+}
+
+// Snapshot copies a struct holding a Mutex and an atomic field: the copy
+// forks the lock.
+func Snapshot(c *counter) counter {
+	return *c // want atomics-discipline
+}
+
+// Held has a value receiver on a sync-bearing type: every call copies the
+// mutex.
+func (c counter) Held() bool { // want atomics-discipline
+	return true
+}
+
+type engine struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// hotBump acquires e.mu inside the hot closure.
+//
+//deepbat:hotpath
+func hotBump(e *engine) {
+	e.mu.Lock()
+	e.v++
+	e.mu.Unlock()
+}
+
+// coldCaller enters the hot path while already holding the lock hotBump
+// takes: instant self-deadlock.
+func coldCaller(e *engine) {
+	e.mu.Lock()
+	hotBump(e) // want atomics-discipline
+	e.mu.Unlock()
+}

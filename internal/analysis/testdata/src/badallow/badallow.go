@@ -1,9 +1,33 @@
-// Package badallow is a deepbatlint fixture: a //lint:allow directive
-// missing its reason is itself a finding (rule "directive").
+// Package badallow is a deepbatlint fixture for //lint:allow parsing edge
+// cases: a directive missing its reason is itself a finding (rule
+// "directive"), as is a directive naming a rule that does not exist; one
+// comment may chain several directives and each is validated on its own.
 package badallow
 
 func F() int {
 	// want-next directive
 	//lint:allow noprint
 	return 1
+}
+
+func G() int {
+	// want-next directive
+	//lint:allow no-such-rule this waiver would silently suppress nothing
+	return 2
+}
+
+// H chains two directives in one comment: the first is well-formed (and
+// suppresses nothing here, which is fine), the second has no reason.
+func H() int {
+	// want-next directive
+	//lint:allow noprint suppresses nothing on this line //lint:allow floatcompare
+	return 3
+}
+
+// I chains a well-formed directive with one naming an unknown rule: the
+// unknown name must error even though its sibling parses.
+func I() int {
+	// want-next directive
+	//lint:allow determinism chained waiver, validated independently //lint:allow hotpathalloc misspelled rule, reason present
+	return 4
 }

@@ -1,0 +1,61 @@
+// Clean and waived hotpath-alloc cases: allocation-free closures pass
+// untouched, cold-path allocations carry mandatory-reason waivers, and a
+// waived call site cuts traversal into the callee.
+package hotpathalloc
+
+import "fmt"
+
+// SumAbs is hot and allocation-free: pure arithmetic over caller-owned
+// storage.
+//
+//deepbat:hotpath
+func SumAbs(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		total += v
+	}
+	return total
+}
+
+// Refill documents its pool-miss allocation with a reasoned waiver.
+//
+//deepbat:hotpath
+func Refill(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		//lint:allow hotpath-alloc cold path: first call grows the reusable buffer
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+type events struct{ names []string }
+
+func (e *events) add(name string, n int) {
+	// No marker here: the waived call site in Emit cuts traversal, so this
+	// append is never reached from a hotpath root.
+	e.names = append(e.names, name)
+	_ = n
+}
+
+// Emit vouches for the telemetry subtree at its own call site instead of
+// polluting the events helper with waivers.
+//
+//deepbat:hotpath
+func Emit(evs *events, n int) {
+	//lint:allow hotpath-alloc cold-branch telemetry; the event sink may allocate
+	evs.add("dispatch", n)
+}
+
+// MustIndex panics with a formatted message on contract violation: the
+// crash path has left the hot path, so panic arguments are exempt.
+//
+//deepbat:hotpath
+func MustIndex(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		panic(fmt.Sprintf("hotpathalloc: index %d out of range", i))
+	}
+	return xs[i]
+}

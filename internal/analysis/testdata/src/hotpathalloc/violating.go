@@ -1,0 +1,77 @@
+// Package hotpathalloc is a deepbatlint fixture: seeded violations of the
+// hotpath-alloc rule, including a cold-branch allocation an AllocsPerRun
+// bench would never see (the benchmark drives the happy path only).
+package hotpathalloc
+
+import "fmt"
+
+type ring struct {
+	buf []float64
+	n   int
+}
+
+// Observe is hot and clean: a fixed-capacity ring write.
+//
+//deepbat:hotpath
+func (r *ring) Observe(v float64) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+}
+
+// Admit allocates directly on the hot path.
+//
+//deepbat:hotpath
+func Admit(ids []int) []int {
+	out := make([]int, 0, len(ids)) // want hotpath-alloc
+	for _, id := range ids {
+		out = append(out, id) // want hotpath-alloc
+	}
+	return out
+}
+
+// Dispatch is clean on the happy path a benchmark measures: AllocsPerRun
+// over fail=false reports 0 allocs/op. The cold error branch formats — the
+// allocation the dynamic gate can never see.
+//
+//deepbat:hotpath
+func Dispatch(r *ring, v float64, fail bool) error {
+	r.Observe(v)
+	if fail {
+		return fmt.Errorf("dispatch rejected %v", v) // want hotpath-alloc
+	}
+	return nil
+}
+
+// record is an unannotated helper: the violation is indirect, reached
+// through Route's call closure.
+func record(m map[string]int, k string) {
+	m[k]++ // want hotpath-alloc
+}
+
+//deepbat:hotpath
+func Route(m map[string]int, k string) {
+	record(m, k)
+}
+
+// Fanout builds a closure and hops through a channel.
+//
+//deepbat:hotpath
+func Fanout(ch chan int, v int) {
+	fn := func() int { return v } // want hotpath-alloc
+	ch <- fn()                    // want hotpath-alloc
+}
+
+func sink(v interface{}) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Box passes a non-pointer value to an interface parameter: boxed on the
+// heap at the call site.
+//
+//deepbat:hotpath
+func Box(x int) int {
+	return sink(x) // want hotpath-alloc
+}

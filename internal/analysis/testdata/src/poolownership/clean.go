@@ -1,0 +1,51 @@
+// Clean and waived pool-ownership cases: balanced Get/Put in straight-line
+// code, loops, and defers; ownership transfer by return; and a reasoned
+// waiver for a deliberate long-lived cache.
+package poolownership
+
+// Balanced acquires, uses, and releases in order.
+func Balanced(p *BufPool, n int) float64 {
+	b := p.Get(n)
+	b[0] = 1
+	total := b[0]
+	p.Put(b)
+	return total
+}
+
+// DeferBalanced releases via defer exactly once.
+func DeferBalanced(p *BufPool, n int) float64 {
+	b := p.Get(n)
+	defer p.Put(b)
+	b[0] = 2
+	return b[0]
+}
+
+// Transfer hands ownership to the caller: returning a pooled value ends
+// this frame's obligation.
+func Transfer(p *BufPool, n int) []float64 {
+	b := p.Get(n)
+	b[0] = 3
+	return b
+}
+
+// LoopFresh acquires a fresh buffer each iteration and releases it before
+// the next: the rebind must not be confused with reuse of the released one.
+func LoopFresh(p *BufPool, rows int, n int) float64 {
+	total := 0.0
+	for i := 0; i < rows; i++ {
+		b := p.Get(n)
+		b[0] = float64(i)
+		total += b[0]
+		p.Put(b)
+	}
+	return total
+}
+
+type cache struct{ hot []float64 }
+
+// Warm deliberately parks a pooled buffer in a long-lived cache that owns
+// it from here on; the waiver documents the ownership handoff.
+func Warm(c *cache, p *BufPool, n int) {
+	//lint:allow pool-ownership the cache becomes the owner and Puts on eviction
+	c.hot = p.Get(n)
+}

@@ -1,0 +1,77 @@
+// Package poolownership is a deepbatlint fixture: seeded violations of the
+// pool-ownership rule — double Put, use after Put (including across branch
+// merges and deferred releases), and pooled values escaping to the heap.
+package poolownership
+
+// BufPool is recognized structurally: Get/Put methods on a *Pool-suffixed
+// named type.
+type BufPool struct{ free [][]float64 }
+
+func (p *BufPool) Get(n int) []float64 {
+	if len(p.free) == 0 {
+		return make([]float64, n)
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b[:n]
+}
+
+func (p *BufPool) Put(b []float64) {
+	p.free = append(p.free, b)
+}
+
+// DoubleRelease returns the same buffer to the pool twice.
+func DoubleRelease(p *BufPool, n int) {
+	b := p.Get(n)
+	b[0] = 1
+	p.Put(b)
+	p.Put(b) // want pool-ownership
+}
+
+// ReadAfterRelease touches a buffer the pool may already have handed to
+// another caller.
+func ReadAfterRelease(p *BufPool, n int) float64 {
+	b := p.Get(n)
+	p.Put(b)
+	return b[0] // want pool-ownership
+}
+
+// MaybeReleased puts on one branch only: any later use races the pool.
+func MaybeReleased(p *BufPool, n int, done bool) {
+	b := p.Get(n)
+	if done {
+		p.Put(b)
+	}
+	b[0] = 2 // want pool-ownership
+}
+
+// DeferredDouble registers a deferred Put and then releases explicitly: at
+// return the deferred Put runs against an already-recycled buffer.
+func DeferredDouble(p *BufPool, n int) {
+	b := p.Get(n)
+	defer p.Put(b) // want pool-ownership
+	b[0] = 3
+	p.Put(b)
+}
+
+type server struct{ scratch []float64 }
+
+// StoreDirect parks a pool Get result in a long-lived field without an
+// ownership handoff.
+func StoreDirect(s *server, p *BufPool, n int) {
+	s.scratch = p.Get(n) // want pool-ownership
+}
+
+// StoreLive stores a live pooled value to the heap: the field outlives the
+// frame that owes the Put.
+func StoreLive(s *server, p *BufPool, n int) {
+	b := p.Get(n)
+	s.scratch = b // want pool-ownership
+	p.Put(b)
+}
+
+// SendLive hands a live pooled value to another goroutine via a channel.
+func SendLive(p *BufPool, ch chan []float64, n int) {
+	b := p.Get(n)
+	ch <- b // want pool-ownership
+}

@@ -720,11 +720,14 @@ type Handle struct {
 
 // Wait blocks for the response, then returns the waiter to its shard's
 // free-list. The Handle must not be used again.
+//
+//deepbat:hotpath
 func (h Handle) Wait() Response {
 	var resp Response
 	if h.direct {
 		resp = h.w.resp
 	} else {
+		//lint:allow hotpath-alloc async dispatch delivers over the waiter's pre-allocated 1-buffered channel; this receive is the wait itself
 		resp = <-h.w.ch
 	}
 	h.s.putWaiter(h.w)
@@ -738,6 +741,8 @@ func (h Handle) Wait() Response {
 // instead of a handoff to a spawned goroutine. Unlike Enqueue, the caller
 // MUST consume the response via Handle.Wait (abandoning a handle leaks its
 // waiter from the pool).
+//
+//deepbat:hotpath
 func (g *Gateway) Submit() Handle {
 	s, id, now := g.admitShard()
 	w, batch, ac, cause := s.submitPooled(id, now)
@@ -752,6 +757,8 @@ func (g *Gateway) Submit() Handle {
 
 // Do submits one request and waits for its response — the pooled,
 // allocation-free equivalent of draining Enqueue's channel.
+//
+//deepbat:hotpath
 func (g *Gateway) Do() Response {
 	return g.Submit().Wait()
 }

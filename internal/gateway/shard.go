@@ -33,6 +33,7 @@ type latRing struct {
 
 func (r *latRing) observe(v float64) {
 	if len(r.buf) < latRingCap {
+		//lint:allow hotpath-alloc the ring fills to latRingCap once at warmup; steady-state observations overwrite in place
 		r.buf = append(r.buf, v)
 	} else {
 		r.buf[r.n%latRingCap] = v
@@ -64,6 +65,7 @@ func deliver(w, self *waiter, resp Response) {
 		w.resp = resp
 		return
 	}
+	//lint:allow hotpath-alloc cross-goroutine delivery for the async path; the pooled synchronous submitter takes the direct-write branch above
 	w.ch <- resp
 }
 
@@ -71,6 +73,8 @@ func deliver(w, self *waiter, resp Response) {
 // function of the ID, so the mapping is identical across runs, processes,
 // and GOMAXPROCS values. shardOf(id, 1) == 0 for every id: P = 1 reproduces
 // the single-queue gateway exactly.
+//
+//deepbat:hotpath
 func shardOf(id uint64, shards int) int {
 	if shards <= 1 {
 		return 0
@@ -146,6 +150,7 @@ func (s *shard) getWaiterLocked(id int, arriveAt float64) *waiter {
 		s.freeW = s.freeW[:n-1]
 		checkWaiterClean(w)
 	} else {
+		//lint:allow hotpath-alloc pool miss: early requests populate the free-list; steady state recycles and never reaches this branch
 		w = &waiter{ch: make(chan Response, 1), pooled: true}
 	}
 	w.id, w.arriveAt = id, arriveAt
@@ -163,6 +168,7 @@ func (s *shard) putWaiter(w *waiter) {
 	}
 	s.mu.Lock()
 	if len(s.freeW) < maxFreeWaiters {
+		//lint:allow hotpath-alloc the free-list grows to its fixed maxFreeWaiters bound once, then every append is in-capacity
 		s.freeW = append(s.freeW, w)
 	}
 	s.mu.Unlock()
@@ -176,6 +182,7 @@ func (s *shard) grabSliceLocked() []*waiter {
 		s.freeB = s.freeB[:n-1]
 		return b
 	}
+	//lint:allow hotpath-alloc pool miss: batch backing arrays are built cold and recycled through freeB thereafter
 	return make([]*waiter, 0, 16)
 }
 
@@ -201,6 +208,7 @@ func (s *shard) recycleBatchLocked(batch []*waiter) {
 		batch[i] = nil
 	}
 	if len(s.freeB) < maxFreeBatches {
+		//lint:allow hotpath-alloc the batch free-list grows to its fixed maxFreeBatches bound once, then every append is in-capacity
 		s.freeB = append(s.freeB, batch[:0])
 	}
 }
@@ -220,6 +228,7 @@ func (s *shard) enqueueWaiterLocked(w *waiter) (batch []*waiter, ac *activeCfg, 
 		// Opening a new batch: snapshot the active parameters and arm the
 		// timeout.
 		s.batchCfg = g.active.Load()
+		//lint:allow hotpath-alloc appends into the recycled pending backing array (cap 16 from grabSliceLocked); in-capacity in steady state
 		s.pending = append(s.pending, w)
 		if s.batchCfg.cfg.BatchSize > 1 && s.batchCfg.cfg.TimeoutS > 0 {
 			g.met.pending.Add(1)
@@ -231,11 +240,13 @@ func (s *shard) enqueueWaiterLocked(w *waiter) (batch []*waiter, ac *activeCfg, 
 		// never waits, so the pending gauge (whose +1/-1 would cancel
 		// inside this same lock hold) is left untouched.
 		batch = s.pending
+		//lint:allow pool-ownership the shard is the long-lived owner of its pending slice; the old backing array leaves as the batch and recycles after dispatch
 		s.pending = s.grabSliceLocked()
 		ac = s.batchCfg
 		s.mu.Unlock()
 		return batch, ac, causeImmediate
 	}
+	//lint:allow hotpath-alloc appends into the recycled pending backing array (cap 16 from grabSliceLocked); in-capacity in steady state
 	s.pending = append(s.pending, w)
 	g.met.pending.Add(1)
 	if len(s.pending) >= s.batchCfg.cfg.BatchSize {
@@ -268,6 +279,7 @@ func (s *shard) submitPooled(id int, arriveAt float64) (w *waiter, batch []*wait
 // Callers hold mu.
 func (s *shard) armTimerLocked(d time.Duration) {
 	s.g.timerWG.Add(1)
+	//lint:allow hotpath-alloc one timer per opened batch, amortized over its B requests; the B=1/T=0 zero-alloc configuration never arms it
 	s.timer = time.AfterFunc(d, func() {
 		defer s.g.timerWG.Done()
 		s.flushTimeout()
@@ -289,6 +301,7 @@ func (s *shard) flushTimeout() {
 // Callers hold mu.
 func (s *shard) takeBatchLocked() ([]*waiter, *activeCfg) {
 	batch := s.pending
+	//lint:allow pool-ownership the shard is the long-lived owner of its pending slice; the old backing array leaves as the batch and recycles after dispatch
 	s.pending = s.grabSliceLocked()
 	s.g.met.pending.Add(-float64(len(batch)))
 	if s.timer != nil {
@@ -316,8 +329,10 @@ func (s *shard) expireBatch(batch []*waiter, self *waiter) []*waiter {
 	var dead []*waiter
 	for _, w := range batch {
 		if now-w.arriveAt > r.RequestTimeoutS {
+			//lint:allow hotpath-alloc deadline expiry is the exceptional branch; collecting the expired waiters may allocate
 			dead = append(dead, w)
 		} else {
+			//lint:allow hotpath-alloc live compacts into the batch's own backing array (batch[:0]); never beyond capacity
 			live = append(live, w)
 		}
 	}
@@ -328,6 +343,7 @@ func (s *shard) expireBatch(batch []*waiter, self *waiter) []*waiter {
 	s.mu.Lock()
 	s.expired += len(dead)
 	s.mu.Unlock()
+	//lint:allow hotpath-alloc exceptional-path telemetry; the event sink may allocate and this waiver vouches for the obs subtree
 	g.rec.Event("deadline_expired", obs.I("requests", len(dead)))
 	for _, w := range dead {
 		deliver(w, self, Response{
@@ -358,6 +374,7 @@ func (s *shard) admitBreaker(ac *activeCfg) (*activeCfg, bool) {
 		s.brState = BreakerHalfOpen
 		s.brMirror.Store(int32(BreakerHalfOpen))
 		g.met.brState.Set(float64(g.mergedBreakerState()))
+		//lint:allow hotpath-alloc breaker transitions are rare; telemetry events off the steady-state path may allocate
 		g.rec.Event("breaker_half_open")
 		return ac, false
 	}
@@ -389,6 +406,7 @@ func (s *shard) noteFailure() {
 			s.brOpens++
 			g.met.brOpens.Inc()
 			g.met.brState.Set(float64(g.mergedBreakerState()))
+			//lint:allow hotpath-alloc breaker transitions are rare; telemetry events off the steady-state path may allocate
 			g.rec.Event("breaker_open", obs.I("consecutive_failures", s.brFails))
 		}
 	}
@@ -408,6 +426,7 @@ func (s *shard) noteSuccess() {
 		s.brState = BreakerClosed
 		s.brMirror.Store(int32(BreakerClosed))
 		g.met.brState.Set(float64(g.mergedBreakerState()))
+		//lint:allow hotpath-alloc breaker transitions are rare; telemetry events off the steady-state path may allocate
 		g.rec.Event("breaker_close")
 	}
 	s.mu.Unlock()
@@ -421,6 +440,7 @@ func (s *shard) failBatch(batch []*waiter, self *waiter, cause error, attempts i
 	s.mu.Lock()
 	s.failed += len(batch)
 	s.mu.Unlock()
+	//lint:allow hotpath-alloc terminal failure path; telemetry and error delivery may allocate
 	g.rec.Event("batch_failed", obs.I("requests", len(batch)), obs.I("attempts", attempts))
 	for _, w := range batch {
 		deliver(w, self, Response{
@@ -489,9 +509,11 @@ func (s *shard) execute(batch []*waiter, ac *activeCfg, cause string, self *wait
 		s.mu.Lock()
 		s.retries++
 		s.mu.Unlock()
+		//lint:allow hotpath-alloc retry path: a failed batch has already left the zero-alloc happy path; telemetry may allocate
 		g.rec.Event("retry",
 			obs.I("attempt", attempt+1), obs.I("batch", len(batch)),
 			obs.F("backoff_s", wait.Seconds()))
+		//lint:allow hotpath-alloc retry backoff: the timer sleep is the modeled wait, not per-request overhead
 		g.sleepInterruptible(wait)
 		attempt++
 		if batch = s.expireBatch(batch, self); len(batch) == 0 {

@@ -73,6 +73,8 @@ func noGradOnly(op string) {
 // MatMulInto computes dst = a × b into a preallocated dst (shape n×m),
 // bit-identical to MatMul's forward values, without allocating an output
 // tensor. NoGrad only.
+//
+//deepbat:hotpath
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	noGradOnly("MatMulInto")
 	if a.Dims() != 2 || b.Dims() != 2 {
@@ -92,6 +94,8 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 
 // AddRowInPlace adds the vector b (length m) to each row of a in place,
 // bit-identical to AddRow's forward values. NoGrad only.
+//
+//deepbat:hotpath
 func AddRowInPlace(a, b *Tensor) *Tensor {
 	noGradOnly("AddRowInPlace")
 	m := a.Cols()
@@ -111,6 +115,8 @@ func AddRowInPlace(a, b *Tensor) *Tensor {
 // ReLUInPlace clamps a to max(0, a) elementwise in place, bit-identical to
 // ReLU's forward values (negative zero maps to +0, exactly as ReLU's
 // zero-filled output does). NoGrad only.
+//
+//deepbat:hotpath
 func ReLUInPlace(a *Tensor) *Tensor {
 	noGradOnly("ReLUInPlace")
 	for i, v := range a.Data {

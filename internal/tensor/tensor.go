@@ -464,6 +464,7 @@ func rowBlocks(rows, workers int, fn func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
+		//lint:allow hotpath-alloc worker goroutines are amortized over an entire n×k×m product and joined before return; serial callers take the workers<=1 branch
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
@@ -491,6 +492,7 @@ func getPackBuf(n int) *[]float64 {
 			return buf
 		}
 	}
+	//lint:allow hotpath-alloc pack-buffer pool miss: first large product per size class allocates, sync.Pool reuses thereafter
 	buf := make([]float64, n)
 	return &buf
 }
@@ -505,12 +507,14 @@ func matmulIntoWorkers(dst, a, b []float64, n, k, m, workers int) {
 	if n*k*m >= gemm.BlockedThreshold {
 		buf := getPackBuf(gemm.PackedLen(k, m))
 		gemm.Pack(*buf, b, k, m)
+		//lint:allow hotpath-alloc one worker closure per large product, amortized over its n×k×m flops
 		rowBlocks(n, workers, func(lo, hi int) {
 			gemm.Blocked(dst, a, *buf, lo, hi, k, m)
 		})
 		packPool.Put(buf)
 		return
 	}
+	//lint:allow hotpath-alloc one worker closure per product, amortized over its n×k×m flops
 	rowBlocks(n, workers, func(lo, hi int) {
 		matmulRows(dst, a, b, lo, hi, k, m)
 	})
