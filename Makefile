@@ -14,14 +14,15 @@ GO ?= go
 # batch executions), the observability registry/recorder hammered from many
 # goroutines, the load generator's closed-loop worker pool, and the analysis
 # engine (whose loader type-checks packages while tests run fixtures in
-# parallel).
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/...
+# parallel), and the workload/replay pair (whose replay driver runs the
+# gateway's batching goroutines from a virtual-time driver).
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/... ./internal/workload/... ./internal/replay/...
 
 # Per-package coverage floors enforced by `make cover` (see the cover target).
 COVER_FLOOR_GATEWAY = 80
 COVER_FLOOR_FAULT   = 90
 
-.PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke
+.PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke replay-smoke
 
 ## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
 ## and the full test suite. Every PR must leave this green.
@@ -66,11 +67,26 @@ loadgen-smoke:
 	$(GO) run ./cmd/loadgen -loop closed -clients 8 -duration 3s -assert
 	$(GO) run ./cmd/loadgen -loop open -requests 2000 -rate 1000 -sweep 1,2,4,8 -assert
 
-## fuzz: a short native-fuzzing pass over the discrete-event simulator's
-## batching invariants (qsim.FuzzRun), sized for CI (~20s). The corpus seeds
-## include fault schedules, so the failure mirror is fuzzed too.
+## fuzz: short native-fuzzing passes sized for CI. FuzzRun hammers the
+## discrete-event simulator's batching invariants (corpus seeds include
+## fault schedules, so the failure mirror is fuzzed too); FuzzDecode hammers
+## the tracev1 binary decoder (never panics, and anything it accepts must
+## round-trip bit-identically).
 fuzz:
 	$(GO) test -fuzz=FuzzRun -fuzztime=20s -run='^$$' ./internal/qsim
+	$(GO) test -fuzz=FuzzDecode -fuzztime=20s -run='^$$' ./internal/workload
+
+## replay-smoke: CI check for the workload-zoo replay path — generate a
+## small azure tracev1 (digest-verified), replay it twice through the real
+## gateway hot path on the virtual clock, and assert the two reports (and
+## metric snapshots) are byte-identical.
+replay-smoke:
+	$(GO) run ./cmd/tracegen -name azure -hours 4 -o /tmp/replay-smoke.tracev1 -check
+	$(GO) run ./cmd/replay -trace /tmp/replay-smoke.tracev1 -shards 4 -metrics /tmp/replay-smoke.m1.json > /tmp/replay-smoke.r1.txt
+	$(GO) run ./cmd/replay -trace /tmp/replay-smoke.tracev1 -shards 4 -metrics /tmp/replay-smoke.m2.json > /tmp/replay-smoke.r2.txt
+	cmp /tmp/replay-smoke.r1.txt /tmp/replay-smoke.r2.txt
+	cmp /tmp/replay-smoke.m1.json /tmp/replay-smoke.m2.json
+	@echo "replay-smoke: byte-identical reports and metric snapshots"
 
 ## chaos: the -race chaos soak — a real-time gateway under concurrent load
 ## with seeded backend faults, retries, deadlines, and the breaker all live.

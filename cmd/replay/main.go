@@ -1,0 +1,136 @@
+// Command replay drives the real gateway hot path (Submit/Do with sharded
+// batching, virtual batch timers, retries, breaker) from a tracev1 workload
+// file — or a freshly generated named workload — entirely on a virtual
+// clock, and reports throughput, p50/p95/p99 latency, goodput, and cost per
+// time window.
+//
+//	tracegen -name azure -o azure.tracev1
+//	replay -trace azure.tracev1 -slo 0.1                # per-window report
+//	replay -name flashcrowd -scale 2 -json              # 2x rate, JSON report
+//	replay -trace azure.tracev1 -fault-error-rate 0.05  # with injected faults
+//
+// Replays are byte-reproducible: the same trace file (or name + spec) and
+// flags produce the identical report on any machine, which is what
+// `make replay-smoke` asserts in CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepbat/internal/fault"
+	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
+	"deepbat/internal/replay"
+	"deepbat/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "tracev1 file to replay (binary or JSON, auto-detected)")
+	name := flag.String("name", "", "generate this workload instead of reading -trace: "+strings.Join(workload.Names(), "|"))
+	hours := flag.Int("hours", 0, "paper-hours for -name (0 = workload default)")
+	hourSeconds := flag.Float64("hour-seconds", 0, "simulated seconds per paper-hour for -name (0 = default)")
+	seed := flag.Int64("seed", 0, "generation seed for -name (0 = default)")
+	shards := flag.Int("shards", 1, "gateway shard count (0 = GOMAXPROCS; reports depend on it)")
+	slo := flag.Float64("slo", 0.1, "latency SLO in seconds (goodput threshold)")
+	memory := flag.Float64("memory", 2048, "serving configuration: memory MB")
+	batch := flag.Int("batch", 4, "serving configuration: batch size B")
+	timeout := flag.Float64("timeout", 0.1, "serving configuration: batch timeout T seconds")
+	scale := flag.Float64("scale", 1, "time compression: arrival timestamps divided by this factor")
+	window := flag.Float64("window", 60, "report window length in replayed seconds")
+	faultRate := flag.Float64("fault-error-rate", 0, "injected backend failure probability")
+	faultStraggler := flag.Float64("fault-straggler-rate", 0, "injected straggler probability")
+	faultSeed := flag.Int64("fault-seed", 0, "fault plan seed (0 = the trace's seed)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the text table")
+	metricsOut := flag.String("metrics", "", "also write the gateway's full metric snapshot (JSON) to this file")
+	flag.Parse()
+
+	if err := run(*tracePath, *name, *hours, *hourSeconds, *seed, *shards, *slo,
+		*memory, *batch, *timeout, *scale, *window,
+		*faultRate, *faultStraggler, *faultSeed, *asJSON, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, name string, hours int, hourSeconds float64, seed int64,
+	shards int, slo, memory float64, batch int, timeout, scale, window float64,
+	faultRate, faultStraggler float64, faultSeed int64, asJSON bool, metricsOut string) error {
+	t, err := loadTrace(tracePath, name, hours, hourSeconds, seed)
+	if err != nil {
+		return err
+	}
+	plan := fault.Plan{Seed: faultSeed, ErrorRate: faultRate, StragglerRate: faultStraggler}
+	if plan.Active() && plan.Seed == 0 {
+		plan.Seed = t.Header.Seed
+	}
+	reg := obs.NewRegistry()
+	rep, err := replay.Run(replay.Config{
+		Trace:     t,
+		Initial:   lambda.Config{MemoryMB: memory, BatchSize: batch, TimeoutS: timeout},
+		Shards:    shards,
+		SLO:       slo,
+		TimeScale: scale,
+		WindowS:   window,
+		Fault:     plan,
+		Obs:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if asJSON {
+		return writeJSON(os.Stdout, rep)
+	}
+	return rep.WriteText(os.Stdout)
+}
+
+// loadTrace reads -trace (sniffing binary tracev1 vs its JSON twin by the
+// magic prefix) or generates -name from its default spec with any overrides.
+func loadTrace(tracePath, name string, hours int, hourSeconds float64, seed int64) (*workload.Trace, error) {
+	switch {
+	case tracePath != "" && name != "":
+		return nil, fmt.Errorf("-trace and -name are mutually exclusive")
+	case tracePath != "":
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.HasPrefix(data, []byte("DBTRACE1")) {
+			return workload.DecodeBytes(data)
+		}
+		return workload.DecodeJSON(bytes.NewReader(data))
+	case name != "":
+		s := workload.DefaultSpec(name)
+		if hours > 0 {
+			s.Hours = hours
+		}
+		if hourSeconds > 0 {
+			s.HourSeconds = hourSeconds
+		}
+		if seed != 0 {
+			s.Seed = seed
+		}
+		return workload.Generate(s)
+	default:
+		return nil, fmt.Errorf("one of -trace or -name is required")
+	}
+}
+
+func writeJSON(f *os.File, rep replay.Report) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -44,9 +44,9 @@ type LabConfig struct {
 // machines; every replayed figure keeps the full 24-hour traces.
 func DefaultLabConfig() LabConfig {
 	return LabConfig{
-		Hours:           24,
-		HourSeconds:     60,
-		Seed:            1,
+		Hours:           trace.DefaultHours,
+		HourSeconds:     trace.DefaultHourSeconds,
+		Seed:            trace.DefaultSeed,
 		SLO:             0.1,
 		SeqLen:          32,
 		TrainSamples:    700,

@@ -34,6 +34,9 @@ var registry = map[string]Runner{
 	// Chaos: the serving path under the deterministic fault model
 	// (internal/fault), swept over error rates and retry budgets.
 	"chaos": Chaos,
+	// Scenarios: the workload zoo replayed through the real gateway hot
+	// path (internal/workload + internal/replay), {trace x fault x SLO}.
+	"scenarios": Scenarios,
 }
 
 // IDs returns the registered experiment identifiers in sorted order.

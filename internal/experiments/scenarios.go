@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepbat/internal/fault"
+	"deepbat/internal/gateway"
+	"deepbat/internal/replay"
+	"deepbat/internal/workload"
+)
+
+// Scenarios sweeps the workload zoo through the real gateway hot path:
+// every {trace x fault plan x SLO} cell is one virtual-time replay
+// (internal/replay) of a tracev1 workload against gateway.Submit with
+// virtual batch timers — not the discrete-event simulator. The table is
+// fully deterministic: traces are pure functions of their specs, fault
+// outcomes are pure functions of the plan, and the replay driver is
+// single-threaded on a manual clock, so this report is byte-identical run
+// to run. It is the evaluation substrate ROADMAP items 1-4 plug into: a
+// rival decider or retrained surrogate swaps into the gateway and reruns
+// the identical request streams.
+func Scenarios(l *Lab) (*Report, error) {
+	rep := &Report{ID: "scenarios", Title: "Workload zoo replayed through the real gateway: {trace x fault x SLO}"}
+
+	// One legacy anchor plus the four zoo shapes, scaled down from the
+	// default spec to keep the sweep fast; shapes are preserved.
+	traces := []string{"azure", "diurnal", "flashcrowd", "corrburst", "sizemix"}
+	plans := []struct {
+		name string
+		plan fault.Plan
+		res  gateway.Resilience
+	}{
+		{"none", fault.Plan{}, gateway.Resilience{}},
+		{"errors", fault.Plan{Seed: 7, ErrorRate: 0.05}, gateway.Resilience{}},
+		{"errors+retry", fault.Plan{Seed: 7, ErrorRate: 0.05}, gateway.Resilience{MaxRetries: 2}},
+		{"stragglers", fault.Plan{Seed: 7, StragglerRate: 0.2, StragglerFactor: 4}, gateway.Resilience{}},
+	}
+	slos := []float64{0.1, 0.25}
+
+	tbl := rep.AddTable("replay: M=2048MB B=4 T=100ms, 1 shard, 2 paper-hours at 30 s/hour",
+		"trace", "fault", "slo", "requests", "served", "failed",
+		"thru_rps", "good_rps", "p50", "p95", "p99", "cost")
+	for _, tn := range traces {
+		spec := workload.DefaultSpec(tn)
+		spec.Hours, spec.HourSeconds = 2, 30
+		t, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		digest, err := workload.Digest(t)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddNote("%s: %d requests, %d classes, tracev1 digest %016x",
+			tn, len(t.Reqs), len(t.Header.Classes), digest)
+		for _, pl := range plans {
+			for _, slo := range slos {
+				r, err := replay.Run(replay.Config{
+					Trace:      t,
+					Shards:     1,
+					SLO:        slo,
+					Fault:      pl.plan,
+					Resilience: pl.res,
+					WindowS:    30,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("scenarios: %s/%s: %w", tn, pl.name, err)
+				}
+				tot := r.Totals
+				tbl.AddRow(tn, pl.name, fmtMS(slo), fmtI(r.Requests),
+					fmtI(tot.Served), fmtI(tot.Failed),
+					fmtF(tot.ThroughputRPS), fmtF(tot.GoodputRPS),
+					fmtMS(tot.P50MS/1000), fmtMS(tot.P95MS/1000), fmtMS(tot.P99MS/1000),
+					fmtUSD(r.CostUSD))
+			}
+		}
+	}
+	rep.AddNote("every cell replays the recorded request stream through gateway.Submit on a virtual clock (Config.VirtualTimers); same table on every run and machine")
+	return rep, nil
+}

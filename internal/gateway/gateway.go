@@ -183,6 +183,15 @@ type Config struct {
 	// accumulates its own batches, so with P shards a size-B dispatch
 	// needs B same-shard arrivals, not B total.
 	Shards int
+	// VirtualTimers disables the wall-clock batch timeout timers. Instead
+	// of arming time.AfterFunc per opened batch, shards record the batch's
+	// virtual flush deadline (open stamp + TimeoutS on the injected Clock),
+	// and a serialized driver honours it with NextFlushDeadline/FlushDue.
+	// This is how internal/replay runs trace time through the real batching
+	// hot path deterministically: timeouts fire exactly at their modeled
+	// instant, in shard order, on the driver's goroutine. Leave false for
+	// wall-clock serving.
+	VirtualTimers bool
 }
 
 // Stats is the JSON document served at /stats.
@@ -761,6 +770,48 @@ func (g *Gateway) Submit() Handle {
 //deepbat:hotpath
 func (g *Gateway) Do() Response {
 	return g.Submit().Wait()
+}
+
+// NextFlushDeadline returns the earliest virtual batch-timeout deadline
+// across shards (clock seconds) and whether any batch is waiting on one.
+// Meaningful only under Config.VirtualTimers with a serialized driver: the
+// driver advances its manual clock to the returned instant and calls
+// FlushDue, reproducing timer dispatch without wall time.
+func (g *Gateway) NextFlushDeadline() (float64, bool) {
+	min, ok := 0.0, false
+	for _, s := range g.shards {
+		s.mu.Lock()
+		if len(s.pending) > 0 && s.flushAt > 0 && (!ok || s.flushAt < min) {
+			min, ok = s.flushAt, true
+		}
+		s.mu.Unlock()
+	}
+	return min, ok
+}
+
+// FlushDue dispatches, synchronously and in shard order, every open batch
+// whose virtual timeout deadline is at or before the gateway clock's current
+// time, exactly as its wall timer would have (causeTimeout accounting
+// included). It returns the number of batches flushed. The caller must be
+// the sole driver of a VirtualTimers gateway; responses are delivered to the
+// batches' waiters as usual.
+func (g *Gateway) FlushDue() int {
+	now := g.clock.Now()
+	n := 0
+	for _, s := range g.shards {
+		s.mu.Lock()
+		if len(s.pending) == 0 || s.flushAt <= 0 || s.flushAt > now {
+			s.mu.Unlock()
+			continue
+		}
+		batch, ac := s.takeBatchLocked()
+		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.execute(batch, ac, causeTimeout, nil)
+			n++
+		}
+	}
+	return n
 }
 
 // spawnExecute runs a batch asynchronously, tracked by execWG.

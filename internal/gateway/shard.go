@@ -110,6 +110,11 @@ type shard struct {
 	pending  []*waiter
 	batchCfg *activeCfg // captured when the open batch started
 	timer    *time.Timer
+	// flushAt is the open batch's timeout deadline in clock seconds
+	// (0 = none armed). Under Config.VirtualTimers it replaces the wall
+	// timer entirely and is honoured by Gateway.FlushDue; otherwise it
+	// mirrors the armed timer for observability.
+	flushAt float64
 
 	// Free-lists backing the zero-alloc steady state.
 	freeW []*waiter
@@ -232,7 +237,10 @@ func (s *shard) enqueueWaiterLocked(w *waiter) (batch []*waiter, ac *activeCfg, 
 		s.pending = append(s.pending, w)
 		if s.batchCfg.cfg.BatchSize > 1 && s.batchCfg.cfg.TimeoutS > 0 {
 			g.met.pending.Add(1)
-			s.armTimerLocked(time.Duration(s.batchCfg.cfg.TimeoutS * float64(time.Second)))
+			s.flushAt = w.arriveAt + s.batchCfg.cfg.TimeoutS
+			if !g.conf.VirtualTimers {
+				s.armTimerLocked(time.Duration(s.batchCfg.cfg.TimeoutS * float64(time.Second)))
+			}
 			s.mu.Unlock()
 			return nil, nil, ""
 		}
@@ -304,6 +312,7 @@ func (s *shard) takeBatchLocked() ([]*waiter, *activeCfg) {
 	//lint:allow pool-ownership the shard is the long-lived owner of its pending slice; the old backing array leaves as the batch and recycles after dispatch
 	s.pending = s.grabSliceLocked()
 	s.g.met.pending.Add(-float64(len(batch)))
+	s.flushAt = 0
 	if s.timer != nil {
 		if s.timer.Stop() {
 			// The callback will never run; release its timerWG slot here.

@@ -35,9 +35,20 @@ type Spec struct {
 	Seed        int64
 }
 
-// DefaultSpec returns a 24-hour spec at 60 simulated seconds per hour.
+// Default spec parameters — the single source of truth for per-workload
+// defaults. cmd/tracegen's flags, cmd/replay's -name path, the experiments
+// lab, and workload.DefaultSpec all derive from these; change them here and
+// every consumer (and every doc table) moves together.
+const (
+	DefaultHours       = 24
+	DefaultHourSeconds = 60.0
+	DefaultSeed        = int64(1)
+)
+
+// DefaultSpec returns a DefaultHours-hour spec at DefaultHourSeconds
+// simulated seconds per hour with the default seed.
 func DefaultSpec(name string) Spec {
-	return Spec{Name: name, Hours: 24, HourSeconds: 60, Seed: 1}
+	return Spec{Name: name, Hours: DefaultHours, HourSeconds: DefaultHourSeconds, Seed: DefaultSeed}
 }
 
 // Trace is a generated workload: absolute arrival timestamps spanning

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// The tracev1 binary layout, little-endian throughout:
+//
+//	magic      [8]byte  "DBTRACE1"
+//	headerLen  uint32   length of the JSON-encoded Header that follows
+//	header     []byte   canonical json.Marshal of Header (self-describing)
+//	count      uint64   record count
+//	records    count ×  { atBits uint64, class uint8, size uint32 } (13 B)
+//	digest     uint64   FNV-1a 64 over every preceding byte
+//
+// Timestamps are stored as raw IEEE-754 bits, so decode(encode(t)) is
+// bit-identical — no parsing, no rounding. The digest makes truncation and
+// corruption loud, and is what tracegen -check and replay provenance notes
+// report. The JSON form (EncodeJSON/DecodeJSON) carries the same data as one
+// readable document; Go's shortest-round-trip float encoding keeps it
+// bit-exact too.
+
+// ErrFormat reports a malformed tracev1 input; match with errors.Is.
+var ErrFormat = errors.New("workload: malformed tracev1")
+
+const (
+	magic      = "DBTRACE1"
+	recordSize = 8 + 1 + 4
+	// maxHeaderLen bounds the self-declared header length so a corrupt
+	// length field cannot drive a giant allocation.
+	maxHeaderLen = 1 << 20
+)
+
+// Encode writes the trace in tracev1 binary form.
+func Encode(w io.Writer, t *Trace) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	buf, err := appendEncoded(nil, t)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// EncodeBytes returns the tracev1 binary encoding.
+func EncodeBytes(t *Trace) ([]byte, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return appendEncoded(nil, t)
+}
+
+func appendEncoded(buf []byte, t *Trace) ([]byte, error) {
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		return nil, fmt.Errorf("workload: encoding header: %w", err)
+	}
+	if len(hdr) > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header exceeds %d bytes", ErrFormat, maxHeaderLen)
+	}
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.Reqs)))
+	for _, rq := range t.Reqs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rq.AtS))
+		buf = append(buf, rq.Class)
+		buf = binary.LittleEndian.AppendUint32(buf, rq.Size)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64()), nil
+}
+
+// Digest returns the trace's tracev1 digest — the FNV-1a 64 the binary
+// encoding is sealed with, rendered by tracegen -check and replay reports.
+func Digest(t *Trace) (uint64, error) {
+	buf, err := EncodeBytes(t)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[len(buf)-8:]), nil
+}
+
+// Decode reads one tracev1 binary trace, verifying structure and digest.
+func Decode(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes decodes a tracev1 binary trace from memory. Every accepted
+// input round-trips: EncodeBytes(DecodeBytes(b)) == b.
+func DecodeBytes(data []byte) (*Trace, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the fixed prelude", ErrFormat, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, data[:len(magic)])
+	}
+	off := len(magic)
+	hlen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if hlen > maxHeaderLen || hlen < 2 {
+		return nil, fmt.Errorf("%w: header length %d out of range", ErrFormat, hlen)
+	}
+	if len(data) < off+hlen+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrFormat)
+	}
+	var hdr Header
+	if err := json.Unmarshal(data[off:off+hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header JSON: %v", ErrFormat, err)
+	}
+	off += hlen
+	count := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	rest := len(data) - off
+	want := int64(count)*recordSize + 8
+	if int64(count) > int64(rest)/recordSize || int64(rest) != want {
+		return nil, fmt.Errorf("%w: %d records declared but %d payload bytes present", ErrFormat, count, rest)
+	}
+	h := fnv.New64a()
+	h.Write(data[:len(data)-8])
+	if got, wantD := h.Sum64(), binary.LittleEndian.Uint64(data[len(data)-8:]); got != wantD {
+		return nil, fmt.Errorf("%w: digest mismatch (computed %016x, stored %016x)", ErrFormat, got, wantD)
+	}
+	t := &Trace{Header: hdr}
+	if count > 0 {
+		t.Reqs = make([]Request, count)
+		for i := range t.Reqs {
+			t.Reqs[i] = Request{
+				AtS:   math.Float64frombits(binary.LittleEndian.Uint64(data[off:])),
+				Class: data[off+8],
+				Size:  binary.LittleEndian.Uint32(data[off+9:]),
+			}
+			off += recordSize
+		}
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	// Canonical-form check: the header must be the byte-exact marshal of the
+	// decoded Header, or re-encoding would not reproduce the input.
+	canon, err := json.Marshal(t.Header)
+	if err != nil || len(canon) != hlen {
+		return nil, fmt.Errorf("%w: non-canonical header encoding", ErrFormat)
+	}
+	for i := range canon {
+		if canon[i] != data[len(magic)+4+i] {
+			return nil, fmt.Errorf("%w: non-canonical header encoding", ErrFormat)
+		}
+	}
+	return t, nil
+}
+
+// EncodeJSON writes the trace as one self-describing JSON document — the
+// human-inspectable twin of the binary form, with identical information and
+// exact float round-trip (Go emits shortest-form floats).
+func EncodeJSON(w io.Writer, t *Trace) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeJSON reads the JSON twin, applying the same structural validation as
+// the binary decoder (there is no digest; JSON is the editable form).
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

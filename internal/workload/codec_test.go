@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"deepbat/internal/trace"
+)
+
+// legacyTimestamps generates the reference timestamp sequence straight from
+// internal/trace for the adapter bit-exactness check.
+func legacyTimestamps(t *testing.T, spec Spec) []float64 {
+	t.Helper()
+	ltr, err := trace.Generate(trace.Spec{
+		Name: spec.Name, Hours: spec.Hours, HourSeconds: spec.HourSeconds, Seed: spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ltr.Timestamps
+}
+
+// specsUnderTest covers every generator family at small scale plus rate and
+// class overrides.
+func specsUnderTest() []Spec {
+	specs := []Spec{
+		{Name: "azure", Hours: 2, HourSeconds: 10, Seed: 1},
+		{Name: "synthetic", Hours: 1, HourSeconds: 10, Seed: 42},
+		{Name: "diurnal", Hours: 3, HourSeconds: 10, Seed: 2},
+		{Name: "flashcrowd", Hours: 2, HourSeconds: 10, Seed: 3},
+		{Name: "corrburst", Hours: 2, HourSeconds: 10, Seed: 4, Classes: 5},
+		{Name: "sizemix", Hours: 2, HourSeconds: 10, Seed: 5, RateRPS: 40},
+	}
+	return specs
+}
+
+// TestBinaryRoundTrip is the codec property test: for every generator,
+// encode -> decode -> encode must reproduce the exact bytes, and the decoded
+// trace must equal the original structurally (bit-exact timestamps).
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, spec := range specsUnderTest() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tr := MustGenerate(spec)
+			data, err := EncodeBytes(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeBytes(data)
+			if err != nil {
+				t.Fatalf("decode of own encoding: %v", err)
+			}
+			if !reflect.DeepEqual(tr, back) {
+				t.Fatalf("decoded trace differs structurally")
+			}
+			again, err := EncodeBytes(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("re-encode is not bit-identical: %d vs %d bytes", len(data), len(again))
+			}
+		})
+	}
+}
+
+// TestJSONRoundTrip pins the JSON twin: exact float round-trip via Go's
+// shortest-form encoding, so binary and JSON forms carry identical data.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, spec := range specsUnderTest() {
+		tr := MustGenerate(spec)
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("%s: JSON round trip not exact", spec.Name)
+		}
+	}
+}
+
+// TestDigestStable pins that Digest is a pure function of the trace and
+// changes when the trace does.
+func TestDigestStable(t *testing.T) {
+	spec := Spec{Name: "diurnal", Hours: 2, HourSeconds: 10, Seed: 9}
+	d1, err := Digest(MustGenerate(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(MustGenerate(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("same spec, different digests: %016x vs %016x", d1, d2)
+	}
+	spec.Seed = 10
+	d3, err := Digest(MustGenerate(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatalf("different seeds share digest %016x", d1)
+	}
+}
+
+func mustEncode(t *testing.T) []byte {
+	t.Helper()
+	data, err := EncodeBytes(MustGenerate(Spec{Name: "azure", Hours: 1, HourSeconds: 5, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDecodeRejectsCorruption walks the error paths: every mutilation of a
+// valid file must fail with ErrFormat, never panic or mis-decode.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := mustEncode(t)
+	cases := map[string]func([]byte) []byte{
+		"empty":        func(b []byte) []byte { return nil },
+		"short":        func(b []byte) []byte { return b[:4] },
+		"bad-magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"huge-header":  func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 1<<30); return b },
+		"zero-header":  func(b []byte) []byte { binary.LittleEndian.PutUint32(b[8:], 0); return b },
+		"trunc-header": func(b []byte) []byte { return b[:13] },
+		"trunc-body":   func(b []byte) []byte { return b[:len(b)-9] },
+		"extra-byte":   func(b []byte) []byte { return append(b, 0) },
+		"flip-record":  func(b []byte) []byte { b[len(b)-20] ^= 0x01; return b },
+		"flip-digest":  func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"header-json":  func(b []byte) []byte { b[12] = '!'; return b },
+	}
+	for name, corrupt := range cases {
+		name, corrupt := name, corrupt
+		t.Run(name, func(t *testing.T) {
+			data := corrupt(append([]byte(nil), valid...))
+			if _, err := DecodeBytes(data); !errors.Is(err, ErrFormat) {
+				t.Fatalf("DecodeBytes(%s) = %v, want ErrFormat", name, err)
+			}
+		})
+	}
+}
+
+// TestDecodeBombSafe feeds a tiny input whose count field claims billions of
+// records: the decoder must reject it from the length check, not allocate.
+func TestDecodeBombSafe(t *testing.T) {
+	hdr := []byte(`{"version":1,"name":"x","seed":1,"spec":{"name":"x","hours":1,"hour_seconds":1,"seed":1},"classes":["a"]}`)
+	var b []byte
+	b = append(b, "DBTRACE1"...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(hdr)))
+	b = append(b, hdr...)
+	b = binary.LittleEndian.AppendUint64(b, math.MaxUint64/16)
+	b = append(b, make([]byte, 8)...) // "digest"
+	if _, err := DecodeBytes(b); !errors.Is(err, ErrFormat) {
+		t.Fatalf("decode bomb = %v, want ErrFormat", err)
+	}
+}
+
+// TestValidateRejectsBadTraces covers the structural invariants on the
+// decode path via hand-built traces.
+func TestValidateRejectsBadTraces(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{Header: Header{Version: Version, Name: "x", Seed: 1,
+			Spec:    Spec{Name: "x", Hours: 1, HourSeconds: 10, Seed: 1},
+			Classes: []string{"a"}}}
+	}
+	cases := map[string]func(*Trace){
+		"bad-version":   func(tr *Trace) { tr.Header.Version = 99 },
+		"no-classes":    func(tr *Trace) { tr.Header.Classes = nil },
+		"class-oob":     func(tr *Trace) { tr.Reqs = []Request{{AtS: 1, Class: 3, Size: 1}} },
+		"nan-timestamp": func(tr *Trace) { tr.Reqs = []Request{{AtS: math.NaN()}} },
+		"neg-timestamp": func(tr *Trace) { tr.Reqs = []Request{{AtS: -1}} },
+		"out-of-order":  func(tr *Trace) { tr.Reqs = []Request{{AtS: 2}, {AtS: 1}} },
+	}
+	for name, mutate := range cases {
+		tr := base()
+		mutate(tr)
+		if _, err := EncodeBytes(tr); !errors.Is(err, ErrFormat) {
+			t.Fatalf("%s: EncodeBytes = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+// TestGenerateErrors pins the input validation of Generate.
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "nope", Hours: 1, HourSeconds: 1}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := Generate(Spec{Name: "azure"}); err == nil {
+		t.Fatal("zero-hours spec accepted")
+	}
+}
+
+// TestLegacyAdapterBitExact pins the adapter contract: workload.Generate on
+// a legacy name reproduces internal/trace's timestamp sequence exactly.
+func TestLegacyAdapterBitExact(t *testing.T) {
+	spec := Spec{Name: "twitter", Hours: 2, HourSeconds: 10, Seed: 3}
+	wt := MustGenerate(spec)
+	ts := wt.Timestamps()
+	want := legacyTimestamps(t, spec)
+	if len(ts) != len(want) {
+		t.Fatalf("adapter has %d arrivals, trace has %d", len(ts), len(want))
+	}
+	for i := range ts {
+		if math.Float64bits(ts[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("timestamp %d differs: %v vs %v", i, ts[i], want[i])
+		}
+	}
+	if len(wt.Header.Classes) != 1 || wt.Header.Classes[0] != "default" {
+		t.Fatalf("legacy adapter classes = %v", wt.Header.Classes)
+	}
+}
+
+// TestDefaultSpecNames pins that every listed workload has a generable
+// default spec and that Names is sorted and complete.
+func TestDefaultSpecNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range names {
+		s := DefaultSpec(n)
+		s.Hours, s.HourSeconds = 1, 5 // shrink, keep defaults for the rest
+		if _, err := Generate(s); err != nil {
+			t.Fatalf("DefaultSpec(%q) not generable: %v", n, err)
+		}
+	}
+}

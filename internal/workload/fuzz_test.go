@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the binary decoder. Two properties
+// hold for every input: the decoder never panics (bad inputs fail with
+// ErrFormat), and any input it accepts round-trips bit-identically through
+// EncodeBytes — i.e. the accepted language is exactly the canonical
+// encoding. Wired into `make fuzz`.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DBTRACE1"))
+	for _, spec := range []Spec{
+		{Name: "azure", Hours: 1, HourSeconds: 5, Seed: 1},
+		{Name: "corrburst", Hours: 1, HourSeconds: 5, Seed: 2},
+		{Name: "sizemix", Hours: 1, HourSeconds: 5, Seed: 3},
+	} {
+		data, err := EncodeBytes(MustGenerate(spec))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// A corrupted variant to seed the error paths.
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		again, err := EncodeBytes(tr)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("accepted input does not round-trip: %d in, %d out", len(data), len(again))
+		}
+	})
+}

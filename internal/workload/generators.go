@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"deepbat/internal/arrival"
+	"deepbat/internal/trace"
+)
+
+// Nominal per-class payload sizes in bytes. Sizes matter to multi-model
+// routing and batch packing experiments; every generator stamps them so a
+// tracev1 file is complete even for consumers this repo does not have yet.
+const (
+	sizeDefault = 4 << 10   // single-class shapes and the legacy adapter
+	sizeSmall   = 2 << 10   // sizemix: short prompts
+	sizeMedium  = 32 << 10  // sizemix: typical documents
+	sizeLarge   = 512 << 10 // sizemix: batch uploads
+)
+
+// ---------------------------------------------------------------------------
+// Legacy adapter: the paper's four workloads as single-class traces.
+// ---------------------------------------------------------------------------
+
+// genLegacy wraps internal/trace: identical timestamp sequence for identical
+// (name, hours, hourSeconds, seed), one "default" class, jittered sizes from
+// an independent salted PRNG.
+func genLegacy(spec Spec) (*Trace, error) {
+	ltr, err := trace.Generate(trace.Spec{
+		Name:        spec.Name,
+		Hours:       spec.Hours,
+		HourSeconds: spec.HourSeconds,
+		Seed:        spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := newTrace(spec, []string{"default"})
+	sizeRng := rand.New(rand.NewSource(spec.Seed ^ legacySizeSalt))
+	t.Reqs = make([]Request, len(ltr.Timestamps))
+	for i, ts := range ltr.Timestamps {
+		t.Reqs[i] = Request{AtS: ts, Class: 0, Size: sizeFor(sizeRng, sizeDefault)}
+	}
+	return t, t.validate()
+}
+
+// legacySizeSalt decorrelates the legacy adapter's size stream from the
+// arrival seed, so stamping sizes can never perturb trace timestamps.
+const legacySizeSalt = 0x51ED0DEF
+
+// ---------------------------------------------------------------------------
+// diurnal: multi-period diurnal rate.
+// ---------------------------------------------------------------------------
+
+// genDiurnal superposes two sinusoidal periods — a 24-hour day and an 8-hour
+// sub-cycle (think three regional business days sharing one deployment) — on
+// the base rate and samples each hour as a Poisson stream at the hour's
+// modulated mean. InferLine-style planners are exercised by exactly this
+// shape: smooth but multi-scale rate motion with no burst structure, so a
+// planner that merely tracks the mean should do well and anything that
+// overreacts is exposed.
+func genDiurnal(spec Spec) (*Trace, error) {
+	base := rate0(spec, 120)
+	t := newTrace(spec, []string{"default"})
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for h := 0; h < spec.Hours; h++ {
+		day := math.Sin(2 * math.Pi * float64(h+18) / 24)
+		sub := math.Sin(2 * math.Pi * float64(h) / 8)
+		rate := base * (1 + 0.45*day + 0.25*sub)
+		if rate < 0.05*base {
+			rate = 0.05 * base
+		}
+		g, err := arrival.NewGen(arrival.Poisson(rate), rng)
+		if err != nil {
+			return nil, err
+		}
+		h0 := float64(h) * spec.HourSeconds
+		for _, ts := range g.SampleUntil(spec.HourSeconds) {
+			t.Reqs = append(t.Reqs, Request{AtS: h0 + ts, Class: 0, Size: sizeFor(rng, sizeDefault)})
+		}
+	}
+	return t, t.validate()
+}
+
+// ---------------------------------------------------------------------------
+// flashcrowd: steady baseline plus cohort arrival events.
+// ---------------------------------------------------------------------------
+
+// genFlashCrowd layers cohort flash events over a steady Poisson baseline:
+// every ~6 hours a cohort arrives (a product launch, a retweet, a class
+// assignment deadline) and hammers the service with an on-off burst at 8x
+// the baseline rate for half an hour-slot. Baseline requests are class
+// "steady", cohort requests class "cohort" — the per-class mix HarmonyBatch-
+// style multi-SLO packing is evaluated against.
+func genFlashCrowd(spec Spec) (*Trace, error) {
+	base := rate0(spec, 60)
+	t := newTrace(spec, []string{"steady", "cohort"})
+	rng := rand.New(rand.NewSource(spec.Seed))
+	horizon := t.Duration()
+
+	// Baseline stream over the whole horizon.
+	g, err := arrival.NewGen(arrival.Poisson(base), rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, ts := range g.SampleUntil(horizon) {
+		t.Reqs = append(t.Reqs, Request{AtS: ts, Class: 0, Size: sizeFor(rng, sizeDefault)})
+	}
+
+	// One cohort event per ~6 hours (at least one), placed uniformly inside
+	// its slot, bursting on-off for half a slot.
+	events := spec.Hours / 6
+	if events < 1 {
+		events = 1
+	}
+	slot := horizon / float64(events)
+	for e := 0; e < events; e++ {
+		dur := 0.5 * slot
+		start := (float64(e) + rng.Float64()*0.5) * slot
+		burst, err := arrival.NewGen(arrival.OnOff(8*base, 0.1*dur, 0.1*dur), rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, ts := range burst.SampleUntil(dur) {
+			t.Reqs = append(t.Reqs, Request{AtS: start + ts, Class: 1, Size: sizeFor(rng, sizeDefault)})
+		}
+	}
+	sortReqs(t.Reqs)
+	return t, t.validate()
+}
+
+// ---------------------------------------------------------------------------
+// corrburst: bursts correlated across classes by a shared modulator.
+// ---------------------------------------------------------------------------
+
+// genCorrBurst drives N request classes from one shared two-state modulator:
+// a background CTMC alternates between calm and burst modes (exponential
+// sojourns), and while it bursts, every class's Poisson rate is multiplied
+// together. Superposing independent MMPPs (what internal/trace does per
+// hour) cannot produce this cross-class correlation, yet it is exactly the
+// failure mode a shared-capacity fleet gateway must survive: all tenants
+// burst at once.
+func genCorrBurst(spec Spec) (*Trace, error) {
+	base := rate0(spec, 90)
+	n := classes0(spec, 3)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = classLabel(i)
+	}
+	t := newTrace(spec, names)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	horizon := t.Duration()
+
+	const (
+		meanCalmS  = 0.25 // of an hour, converted below
+		meanBurstS = 0.08
+		burstGain  = 6.0
+		calmGain   = 0.4
+	)
+	meanCalm := meanCalmS * spec.HourSeconds
+	meanBurst := meanBurstS * spec.HourSeconds
+
+	// Class weights sum to 1 with a deterministic geometric taper, so class 0
+	// is the heavy stream and later classes are progressively lighter.
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(0.6, float64(i))
+		sum += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+
+	// Walk the shared modulator's segments; inside each segment every class
+	// emits a Poisson stream at its gained rate. Segment-outer, class-inner
+	// iteration keeps PRNG consumption order fixed.
+	t0, burst := 0.0, false
+	for t0 < horizon {
+		mean := meanCalm
+		gain := calmGain
+		if burst {
+			mean = meanBurst
+			gain = burstGain
+		}
+		segLen := rng.ExpFloat64() * mean
+		if t0+segLen > horizon {
+			segLen = horizon - t0
+		}
+		for c := 0; c < n; c++ {
+			rate := base * weights[c] * gain
+			g, err := arrival.NewGen(arrival.Poisson(rate), rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, ts := range g.SampleUntil(segLen) {
+				t.Reqs = append(t.Reqs, Request{AtS: t0 + ts, Class: uint8(c), Size: sizeFor(rng, sizeDefault)})
+			}
+		}
+		t0 += segLen
+		burst = !burst
+	}
+	sortReqs(t.Reqs)
+	return t, t.validate()
+}
+
+// classLabel names the c-th generic class.
+func classLabel(c int) string {
+	return "class" + strconv.Itoa(c)
+}
+
+// ---------------------------------------------------------------------------
+// sizemix: one arrival stream, heavy-tailed request-size mixture.
+// ---------------------------------------------------------------------------
+
+// genSizeMix emits a single Poisson arrival stream whose requests draw their
+// class — and with it their payload size — from a small/medium/large mixture
+// (70/25/5). Arrival dynamics are deliberately flat: this shape isolates
+// size heterogeneity, the dimension none of the timestamp-only traces carry.
+func genSizeMix(spec Spec) (*Trace, error) {
+	base := rate0(spec, 100)
+	t := newTrace(spec, []string{"small", "medium", "large"})
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g, err := arrival.NewGen(arrival.Poisson(base), rng)
+	if err != nil {
+		return nil, err
+	}
+	sizes := [3]float64{sizeSmall, sizeMedium, sizeLarge}
+	for _, ts := range g.SampleUntil(t.Duration()) {
+		u := rng.Float64()
+		var c uint8
+		switch {
+		case u < 0.70:
+			c = 0
+		case u < 0.95:
+			c = 1
+		default:
+			c = 2
+		}
+		t.Reqs = append(t.Reqs, Request{AtS: ts, Class: c, Size: sizeFor(rng, sizes[c])})
+	}
+	return t, t.validate()
+}

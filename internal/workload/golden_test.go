@@ -1,0 +1,87 @@
+// Generator golden-byte tests: the exact tracev1 bytes each zoo generator
+// produces for a pinned spec, captured in testdata/golden/. Any change to a
+// generator's PRNG consumption order, arrival math, class assignment, or
+// size stream — or to the codec — fails these loudly, mirroring the
+// testdata/preshard pattern in internal/gateway.
+//
+// Regenerate (only when a PR deliberately changes a generator):
+//
+//	UPDATE_WORKLOAD_GOLDEN=1 go test -run TestGeneratorGoldenBytes ./internal/workload/
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSpecs pins one small spec per generator family. Small horizons keep
+// the files a few KB while still exercising every code path (multiple
+// hours, bursts, classes, size tiers).
+func goldenSpecs() []Spec {
+	return []Spec{
+		{Name: "azure", Hours: 2, HourSeconds: 10, Seed: 1},
+		{Name: "diurnal", Hours: 3, HourSeconds: 10, Seed: 1},
+		{Name: "flashcrowd", Hours: 2, HourSeconds: 10, Seed: 1},
+		{Name: "corrburst", Hours: 2, HourSeconds: 10, Seed: 1},
+		{Name: "sizemix", Hours: 2, HourSeconds: 10, Seed: 1},
+	}
+}
+
+func TestGeneratorGoldenBytes(t *testing.T) {
+	update := os.Getenv("UPDATE_WORKLOAD_GOLDEN") != ""
+	dir := filepath.Join("testdata", "golden")
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, spec := range goldenSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			data, err := EncodeBytes(MustGenerate(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, spec.Name+".tracev1")
+			if update {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_WORKLOAD_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				d1, _ := Digest(MustGenerate(spec))
+				t.Errorf("%s: generated tracev1 diverged from golden bytes (%d vs %d bytes, digest %016x); "+
+					"if this change is deliberate, regenerate with UPDATE_WORKLOAD_GOLDEN=1",
+					spec.Name, len(data), len(want), d1)
+			}
+		})
+	}
+}
+
+// TestGoldenDecodable keeps the checked-in goldens honest: every golden file
+// must decode cleanly and carry the spec it was generated from.
+func TestGoldenDecodable(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", spec.Name+".tracev1"))
+		if err != nil {
+			t.Skipf("goldens not generated yet: %v", err)
+		}
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if tr.Header.Spec != spec {
+			t.Fatalf("%s: golden carries spec %+v, want %+v", spec.Name, tr.Header.Spec, spec)
+		}
+		if len(tr.Reqs) == 0 {
+			t.Fatalf("%s: golden is empty", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package workload is DeepBAT's workload zoo: a versioned on-disk trace
+// format ("tracev1") plus composable arrival-shape generators layered on
+// internal/arrival, feeding both the discrete-event simulator and — through
+// internal/replay — the real sharded gateway.
+//
+// A workload Trace generalizes internal/trace in three ways: every request
+// carries a class (cohort, size tier, traffic stream) and a payload size in
+// addition to its timestamp; the generator zoo covers scenario shapes the
+// four paper traces cannot express (multi-period diurnal mixes, cohort flash
+// crowds, bursts correlated across classes by a shared MMPP modulator, and
+// request-size mixtures); and traces serialize to a self-describing,
+// digest-checked binary or JSON file, so an experiment pinned to a trace
+// file replays the exact same request stream forever.
+//
+// The four paper workloads (azure, twitter, alibaba, synthetic) are
+// re-exported through an adapter over internal/trace: Generate with a legacy
+// name produces the bit-exact timestamp sequence trace.Generate yields for
+// the same spec, wrapped in single-class records. Old call sites on
+// internal/trace keep working unchanged; new call sites get one namespace
+// for every shape.
+//
+// Determinism contract: Generate is a pure function of its Spec — one seeded
+// PRNG consumed in a fixed order, no wall clock, no map iteration — so the
+// same spec produces byte-identical encoded traces on any machine. The
+// golden-byte tests in this package pin that contract per generator.
+package workload
+
+//deepbat:deterministic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deepbat/internal/trace"
+)
+
+// Version is the trace format version this package reads and writes.
+const Version = 1
+
+// Spec configures one synthesis. Hours/HourSeconds/Seed follow the
+// internal/trace convention: Hours paper-hours at HourSeconds of simulated
+// time each. RateRPS and Classes parameterize the new shapes and are ignored
+// by the legacy adapters (their rates are fixed by the paper's figures).
+type Spec struct {
+	Name        string  `json:"name"`
+	Hours       int     `json:"hours"`
+	HourSeconds float64 `json:"hour_seconds"`
+	Seed        int64   `json:"seed"`
+	// RateRPS is the base mean arrival rate (0 = the shape's default).
+	RateRPS float64 `json:"rate_rps,omitempty"`
+	// Classes is the request-class count for multi-class shapes
+	// (0 = the shape's default; legacy shapes are single-class).
+	Classes int `json:"classes,omitempty"`
+}
+
+// DefaultSpec returns the named workload's default spec. It is the single
+// source of truth for per-workload defaults: the base scale comes from
+// internal/trace's Default* constants (shared with the experiments lab), and
+// the per-shape rate/class defaults live only here — cmd/tracegen,
+// cmd/replay, and the scenarios experiment all start from this function.
+func DefaultSpec(name string) Spec {
+	base := trace.DefaultSpec(name)
+	s := Spec{Name: base.Name, Hours: base.Hours, HourSeconds: base.HourSeconds, Seed: base.Seed}
+	switch name {
+	case "diurnal":
+		s.RateRPS, s.Classes = 120, 1
+	case "flashcrowd":
+		s.RateRPS, s.Classes = 60, 2
+	case "corrburst":
+		s.RateRPS, s.Classes = 90, 3
+	case "sizemix":
+		s.RateRPS, s.Classes = 100, 3
+	}
+	return s
+}
+
+// Request is one trace record: an absolute arrival timestamp in seconds, a
+// request class (index into Header.Classes), and a payload size in bytes.
+type Request struct {
+	AtS   float64 `json:"at_s"`
+	Class uint8   `json:"class"`
+	Size  uint32  `json:"size"`
+}
+
+// Header is the self-describing tracev1 header: the format version, the
+// workload name and seed (mirrored from the spec for quick inspection), the
+// full generation spec, and the class-name table records index into.
+type Header struct {
+	Version int      `json:"version"`
+	Name    string   `json:"name"`
+	Seed    int64    `json:"seed"`
+	Spec    Spec     `json:"spec"`
+	Classes []string `json:"classes"`
+}
+
+// Trace is a generated (or decoded) workload: a header plus its request
+// records in non-decreasing timestamp order.
+type Trace struct {
+	Header Header    `json:"header"`
+	Reqs   []Request `json:"requests"`
+}
+
+// Duration returns the trace horizon in seconds.
+func (t *Trace) Duration() float64 {
+	return float64(t.Header.Spec.Hours) * t.Header.Spec.HourSeconds
+}
+
+// Timestamps returns the arrival timestamps as a fresh slice — the view the
+// qsim/replay call sites that predate request classes consume.
+func (t *Trace) Timestamps() []float64 {
+	out := make([]float64, len(t.Reqs))
+	for i, rq := range t.Reqs {
+		out[i] = rq.AtS
+	}
+	return out
+}
+
+// ClassName returns the class-table entry for c, or a stable placeholder for
+// out-of-table indices (possible only on hand-edited JSON traces).
+func (t *Trace) ClassName(c uint8) string {
+	if int(c) < len(t.Header.Classes) {
+		return t.Header.Classes[c]
+	}
+	return fmt.Sprintf("class%d", c)
+}
+
+// legacyNames are the paper's four workloads, adapted from internal/trace.
+var legacyNames = []string{"azure", "twitter", "alibaba", "synthetic"}
+
+// zooNames are the shapes native to this package.
+var zooNames = []string{"corrburst", "diurnal", "flashcrowd", "sizemix"}
+
+// Names lists every supported workload name in sorted order: the four paper
+// traces plus the zoo shapes.
+func Names() []string {
+	out := make([]string, 0, len(legacyNames)+len(zooNames))
+	out = append(out, legacyNames...)
+	out = append(out, zooNames...)
+	sort.Strings(out)
+	return out
+}
+
+// Generate synthesizes the named workload. The result is a pure function of
+// the spec.
+func Generate(spec Spec) (*Trace, error) {
+	if spec.Hours <= 0 || spec.HourSeconds <= 0 {
+		return nil, fmt.Errorf("workload: spec needs positive Hours and HourSeconds, got %d x %g", spec.Hours, spec.HourSeconds)
+	}
+	switch spec.Name {
+	case "azure", "twitter", "alibaba", "synthetic":
+		return genLegacy(spec)
+	case "diurnal":
+		return genDiurnal(spec)
+	case "flashcrowd":
+		return genFlashCrowd(spec)
+	case "corrburst":
+		return genCorrBurst(spec)
+	case "sizemix":
+		return genSizeMix(spec)
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", spec.Name, Names())
+	}
+}
+
+// MustGenerate is Generate for known-good specs; it panics on error.
+func MustGenerate(spec Spec) *Trace {
+	t, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// newTrace builds the trace skeleton for a spec and its class table.
+func newTrace(spec Spec, classes []string) *Trace {
+	return &Trace{Header: Header{
+		Version: Version,
+		Name:    spec.Name,
+		Seed:    spec.Seed,
+		Spec:    spec,
+		Classes: classes,
+	}}
+}
+
+// sizeFor draws a per-request payload size around a class's nominal size:
+// uniform in [0.75, 1.25) of the base, deterministic from the shared PRNG.
+func sizeFor(rng *rand.Rand, base float64) uint32 {
+	return uint32(base * (0.75 + 0.5*rng.Float64()))
+}
+
+// sortReqs orders records by timestamp. The sort is stable, so records with
+// equal timestamps keep their deterministic generation order and the result
+// is a pure function of the inputs.
+func sortReqs(reqs []Request) {
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].AtS < reqs[j].AtS })
+}
+
+// rate0 substitutes a shape's default base rate for an unset spec rate.
+func rate0(spec Spec, def float64) float64 {
+	if spec.RateRPS > 0 {
+		return spec.RateRPS
+	}
+	return def
+}
+
+// classes0 substitutes a shape's default class count, clamped to the uint8
+// record field and a floor of 1.
+func classes0(spec Spec, def int) int {
+	n := spec.Classes
+	if n <= 0 {
+		n = def
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// validate checks the invariants every generator (and every accepted decode)
+// guarantees: header version, class table covering every record, and
+// non-decreasing timestamps inside the horizon.
+func (t *Trace) validate() error {
+	if t.Header.Version != Version {
+		return fmt.Errorf("%w: version %d (support %d)", ErrFormat, t.Header.Version, Version)
+	}
+	if len(t.Header.Classes) == 0 || len(t.Header.Classes) > 256 {
+		return fmt.Errorf("%w: class table has %d entries", ErrFormat, len(t.Header.Classes))
+	}
+	prev := math.Inf(-1)
+	for i, rq := range t.Reqs {
+		if int(rq.Class) >= len(t.Header.Classes) {
+			return fmt.Errorf("%w: record %d references class %d of %d", ErrFormat, i, rq.Class, len(t.Header.Classes))
+		}
+		if rq.AtS < prev {
+			return fmt.Errorf("%w: record %d out of time order (%g after %g)", ErrFormat, i, rq.AtS, prev)
+		}
+		if math.IsNaN(rq.AtS) || math.IsInf(rq.AtS, 0) || rq.AtS < 0 {
+			return fmt.Errorf("%w: record %d has invalid timestamp %g", ErrFormat, i, rq.AtS)
+		}
+		prev = rq.AtS
+	}
+	return nil
+}
