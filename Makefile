@@ -14,15 +14,19 @@ GO ?= go
 # batch executions), the observability registry/recorder hammered from many
 # goroutines, the load generator's closed-loop worker pool, and the analysis
 # engine (whose loader type-checks packages while tests run fixtures in
-# parallel), and the workload/replay pair (whose replay driver runs the
-# gateway's batching goroutines from a virtual-time driver).
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/... ./internal/workload/... ./internal/replay/...
+# parallel), the workload/replay pair (whose replay driver runs the
+# gateway's batching goroutines from a virtual-time driver), the sweep
+# engine (worker pools claiming cells off a shared atomic cursor), the
+# qsim grid search (which fans out over sweep workers), and the
+# experiments lab (whose cell-parallel figures must stay invariant under
+# the detector's scheduling perturbation).
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/... ./internal/workload/... ./internal/replay/... ./internal/sweep/... ./internal/qsim/...
 
 # Per-package coverage floors enforced by `make cover` (see the cover target).
 COVER_FLOOR_GATEWAY = 80
 COVER_FLOOR_FAULT   = 90
 
-.PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke replay-smoke
+.PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke replay-smoke sweep-smoke
 
 ## verify: tier-1 gate — formatting, vet, the deepbatlint pass, full build,
 ## and the full test suite. Every PR must leave this green.
@@ -52,13 +56,16 @@ test: verify
 race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -tags poolcheck ./internal/gateway/
+	$(GO) test -race -run 'WorkerInvariance' ./internal/experiments/
 
-## bench: regenerate the benchmark regression snapshot (BENCH_4.json),
+## bench: regenerate the benchmark regression snapshot (BENCH_5.json),
 ## including speedup/alloc ratios against the previous snapshot. Asserts the
 ## instrumented-training overhead budget, the zero-alloc pooled admit path,
-## and the sharded-dispatch speedup floor (non-zero exit on violation).
+## the sharded-dispatch speedup floor, and the sweep engine's byte-identity
+## (plus its 8-worker speedup floor on 8+ CPU machines); non-zero exit on
+## violation.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_4.json -baseline BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_5.json -baseline BENCH_4.json
 
 ## loadgen-smoke: CI smoke check for the serving path — a short closed-loop
 ## saturation run that must finish with goodput > 0 and zero failed
@@ -87,6 +94,21 @@ replay-smoke:
 	cmp /tmp/replay-smoke.r1.txt /tmp/replay-smoke.r2.txt
 	cmp /tmp/replay-smoke.m1.json /tmp/replay-smoke.m2.json
 	@echo "replay-smoke: byte-identical reports and metric snapshots"
+
+## sweep-smoke: CI check for the deterministic parallel sweep engine — run
+## the cell-parallel scenarios experiment at 1 and 4 workers and assert the
+## rendered report AND the merged per-cell metric snapshot are
+## byte-identical, then do the same for a parallel replay shard sweep.
+sweep-smoke:
+	$(GO) run ./cmd/experiments -exp scenarios -quick -workers 1 -metrics /tmp/sweep-smoke.m1.json | grep -v 'finished in' > /tmp/sweep-smoke.r1.txt
+	$(GO) run ./cmd/experiments -exp scenarios -quick -workers 4 -metrics /tmp/sweep-smoke.m4.json | grep -v 'finished in' > /tmp/sweep-smoke.r4.txt
+	cmp /tmp/sweep-smoke.r1.txt /tmp/sweep-smoke.r4.txt
+	cmp /tmp/sweep-smoke.m1.json /tmp/sweep-smoke.m4.json
+	$(GO) run ./cmd/replay -name azure -hours 2 -hour-seconds 30 -sweep 1,2,4 -workers 1 -metrics /tmp/sweep-smoke.rm1.json > /tmp/sweep-smoke.rr1.txt
+	$(GO) run ./cmd/replay -name azure -hours 2 -hour-seconds 30 -sweep 1,2,4 -workers 4 -metrics /tmp/sweep-smoke.rm4.json > /tmp/sweep-smoke.rr4.txt
+	cmp /tmp/sweep-smoke.rr1.txt /tmp/sweep-smoke.rr4.txt
+	cmp /tmp/sweep-smoke.rm1.json /tmp/sweep-smoke.rm4.json
+	@echo "sweep-smoke: byte-identical reports and metric snapshots at 1 vs 4 workers"
 
 ## chaos: the -race chaos soak — a real-time gateway under concurrent load
 ## with seeded backend faults, retries, deadlines, and the breaker all live.

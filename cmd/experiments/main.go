@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"deepbat/internal/experiments"
+	"deepbat/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	hours := flag.Int("hours", 0, "override lab hours")
 	hourSeconds := flag.Float64("hour-seconds", 0, "override seconds per paper-hour")
 	seed := flag.Int64("seed", 0, "override lab seed")
+	workers := flag.Int("workers", 0, "sweep fan-out workers for cell-parallel experiments (0 = GOMAXPROCS; output is identical at any count)")
+	metricsOut := flag.String("metrics", "", "write the merged per-cell metric snapshot (JSON) to this file")
 	flag.Parse()
 
 	if *list {
@@ -43,7 +47,11 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	lab := experiments.NewLab(cfg)
+	if *metricsOut != "" {
+		lab.Obs = obs.NewRegistry()
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -58,5 +66,16 @@ func main() {
 		}
 		fmt.Print(rep.String())
 		fmt.Printf("(%s finished in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		var buf bytes.Buffer
+		if err := lab.Obs.WriteJSON(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -24,12 +24,14 @@ import (
 
 	"deepbat/internal/lambda"
 	"deepbat/internal/loadgen"
+	"deepbat/internal/sweep"
 )
 
 func main() {
 	loop := flag.String("loop", "closed", "traffic loop: closed | open")
 	shards := flag.Int("shards", 0, "gateway shard count (0 = GOMAXPROCS)")
-	sweep := flag.String("sweep", "", "comma-separated shard counts to sweep (overrides -shards)")
+	sweepList := flag.String("sweep", "", "comma-separated shard counts to sweep (overrides -shards)")
+	workers := flag.Int("workers", 0, "open-loop sweep fan-out workers (0 = GOMAXPROCS; rows are identical at any count)")
 	clients := flag.Int("clients", 8, "closed-loop concurrent clients")
 	requests := flag.Int("requests", 0, "request budget: per client (closed), total (open)")
 	duration := flag.Duration("duration", 3*time.Second, "closed-loop wall budget (0 = until -requests)")
@@ -61,29 +63,46 @@ func main() {
 	}
 
 	counts := []int{cfg.Shards}
-	if *sweep != "" {
-		counts = parseSweep(*sweep)
+	if *sweepList != "" {
+		counts = parseSweep(*sweepList)
 	}
-	printHeader()
-	ok := true
-	for _, p := range counts {
-		c := cfg
-		c.Shards = p
-		var (
-			r   loadgen.Report
-			err error
-		)
-		switch *loop {
-		case "closed":
-			r, err = loadgen.RunClosed(c)
-		case "open":
-			r, err = loadgen.RunOpen(c)
-		default:
-			log.Fatalf("loadgen: unknown -loop %q (want closed or open)", *loop)
-		}
+	if *loop != "closed" && *loop != "open" {
+		log.Fatalf("loadgen: unknown -loop %q (want closed or open)", *loop)
+	}
+	reports := make([]loadgen.Report, len(counts))
+	if *loop == "open" {
+		// Every open-loop run is an isolated gateway on its own virtual
+		// clock, so the sweep entries fan out as parallel cells; rows print
+		// in sweep order and are identical at any -workers value.
+		err := sweep.Run(sweep.Options{Workers: *workers}, len(counts), func(c *sweep.Cell) error {
+			lc := cfg
+			lc.Shards = counts[c.Index]
+			r, err := loadgen.RunOpen(lc)
+			if err != nil {
+				return err
+			}
+			reports[c.Index] = r
+			return nil
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+	} else {
+		// The closed loop measures wall-clock saturation; concurrent runs
+		// would contend for the cores under test, so it stays serial.
+		for i, p := range counts {
+			c := cfg
+			c.Shards = p
+			r, err := loadgen.RunClosed(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports[i] = r
+		}
+	}
+	printHeader()
+	ok := true
+	for _, r := range reports {
 		printRow(r)
 		if r.GoodputRPS <= 0 || r.Failed > 0 {
 			ok = false

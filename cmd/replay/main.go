@@ -8,10 +8,13 @@
 //	replay -trace azure.tracev1 -slo 0.1                # per-window report
 //	replay -name flashcrowd -scale 2 -json              # 2x rate, JSON report
 //	replay -trace azure.tracev1 -fault-error-rate 0.05  # with injected faults
+//	replay -name azure -sweep 1,2,4 -workers 0          # parallel shard sweep
 //
 // Replays are byte-reproducible: the same trace file (or name + spec) and
 // flags produce the identical report on any machine, which is what
-// `make replay-smoke` asserts in CI.
+// `make replay-smoke` asserts in CI. -sweep fans the shard counts out
+// through the deterministic sweep engine: reports print in sweep order and
+// are identical at any -workers value.
 package main
 
 import (
@@ -19,13 +22,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"deepbat/internal/fault"
 	"deepbat/internal/lambda"
 	"deepbat/internal/obs"
 	"deepbat/internal/replay"
+	"deepbat/internal/sweep"
 	"deepbat/internal/workload"
 )
 
@@ -45,56 +51,140 @@ func main() {
 	faultRate := flag.Float64("fault-error-rate", 0, "injected backend failure probability")
 	faultStraggler := flag.Float64("fault-straggler-rate", 0, "injected straggler probability")
 	faultSeed := flag.Int64("fault-seed", 0, "fault plan seed (0 = the trace's seed)")
+	sweepList := flag.String("sweep", "", "comma-separated shard counts replayed as a parallel fan-out (overrides -shards)")
+	workers := flag.Int("workers", 0, "sweep fan-out workers (0 = GOMAXPROCS; reports are identical at any count)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the text table")
 	metricsOut := flag.String("metrics", "", "also write the gateway's full metric snapshot (JSON) to this file")
 	flag.Parse()
 
-	if err := run(*tracePath, *name, *hours, *hourSeconds, *seed, *shards, *slo,
-		*memory, *batch, *timeout, *scale, *window,
-		*faultRate, *faultStraggler, *faultSeed, *asJSON, *metricsOut); err != nil {
+	o := options{
+		tracePath: *tracePath, name: *name, hours: *hours, hourSeconds: *hourSeconds,
+		seed: *seed, shards: *shards, slo: *slo,
+		initial: lambda.Config{MemoryMB: *memory, BatchSize: *batch, TimeoutS: *timeout},
+		scale:   *scale, window: *window,
+		faultRate: *faultRate, faultStraggler: *faultStraggler, faultSeed: *faultSeed,
+		sweepList: *sweepList, workers: *workers,
+		asJSON: *asJSON, metricsOut: *metricsOut,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, name string, hours int, hourSeconds float64, seed int64,
-	shards int, slo, memory float64, batch int, timeout, scale, window float64,
-	faultRate, faultStraggler float64, faultSeed int64, asJSON bool, metricsOut string) error {
-	t, err := loadTrace(tracePath, name, hours, hourSeconds, seed)
+// options carries the parsed flag set into run.
+type options struct {
+	tracePath, name           string
+	hours                     int
+	hourSeconds               float64
+	seed                      int64
+	shards                    int
+	slo                       float64
+	initial                   lambda.Config
+	scale, window             float64
+	faultRate, faultStraggler float64
+	faultSeed                 int64
+	sweepList                 string
+	workers                   int
+	asJSON                    bool
+	metricsOut                string
+}
+
+func run(o options) error {
+	t, err := loadTrace(o.tracePath, o.name, o.hours, o.hourSeconds, o.seed)
 	if err != nil {
 		return err
 	}
-	plan := fault.Plan{Seed: faultSeed, ErrorRate: faultRate, StragglerRate: faultStraggler}
+	plan := fault.Plan{Seed: o.faultSeed, ErrorRate: o.faultRate, StragglerRate: o.faultStraggler}
 	if plan.Active() && plan.Seed == 0 {
 		plan.Seed = t.Header.Seed
 	}
-	reg := obs.NewRegistry()
-	rep, err := replay.Run(replay.Config{
+	cfg := replay.Config{
 		Trace:     t,
-		Initial:   lambda.Config{MemoryMB: memory, BatchSize: batch, TimeoutS: timeout},
-		Shards:    shards,
-		SLO:       slo,
-		TimeScale: scale,
-		WindowS:   window,
+		Initial:   o.initial,
+		Shards:    o.shards,
+		SLO:       o.slo,
+		TimeScale: o.scale,
+		WindowS:   o.window,
 		Fault:     plan,
-		Obs:       reg,
+	}
+	if o.sweepList != "" {
+		return runSweep(o, cfg)
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	rep, err := replay.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeMetrics(o.metricsOut, reg); err != nil {
+		return err
+	}
+	if o.asJSON {
+		return writeJSON(os.Stdout, rep)
+	}
+	return rep.WriteText(os.Stdout)
+}
+
+// runSweep replays the trace once per -sweep shard count through the
+// deterministic sweep engine: each count is one cell with its own metric
+// registry, the shared trace cache digests the trace once, and the rendered
+// reports print in sweep order regardless of -workers. -metrics receives the
+// ordered merge of every cell's snapshot.
+func runSweep(o options, base replay.Config) error {
+	counts, err := parseCounts(o.sweepList)
+	if err != nil {
+		return err
+	}
+	cache := workload.NewCache()
+	merged := obs.NewRegistry()
+	outs := make([]bytes.Buffer, len(counts))
+	err = sweep.Run(sweep.Options{Workers: o.workers, Obs: merged}, len(counts), func(c *sweep.Cell) error {
+		cfg := base
+		cfg.Shards = counts[c.Index]
+		cfg.Obs = c.Obs()
+		cfg.Cache = cache
+		rep, err := replay.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if o.asJSON {
+			return writeJSON(&outs[c.Index], rep)
+		}
+		return rep.WriteText(&outs[c.Index])
 	})
 	if err != nil {
 		return err
 	}
-	if metricsOut != "" {
-		var buf bytes.Buffer
-		if err := reg.WriteJSON(&buf); err != nil {
-			return err
-		}
-		if err := os.WriteFile(metricsOut, buf.Bytes(), 0o644); err != nil {
+	for i := range outs {
+		if _, err := os.Stdout.Write(outs[i].Bytes()); err != nil {
 			return err
 		}
 	}
-	if asJSON {
-		return writeJSON(os.Stdout, rep)
+	return writeMetrics(o.metricsOut, merged)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -sweep entry %q", part)
+		}
+		out = append(out, n)
 	}
-	return rep.WriteText(os.Stdout)
+	return out, nil
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // loadTrace reads -trace (sniffing binary tracev1 vs its JSON twin by the
@@ -129,8 +219,8 @@ func loadTrace(tracePath, name string, hours int, hourSeconds float64, seed int6
 	}
 }
 
-func writeJSON(f *os.File, rep replay.Report) error {
-	enc := json.NewEncoder(f)
+func writeJSON(w io.Writer, rep replay.Report) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }

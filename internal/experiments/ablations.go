@@ -6,6 +6,7 @@ import (
 
 	"deepbat/internal/loss"
 	"deepbat/internal/surrogate"
+	"deepbat/internal/sweep"
 )
 
 // Ablations evaluates the design choices DESIGN.md calls out beyond the
@@ -45,19 +46,28 @@ func Ablations(l *Lab) (*Report, error) {
 		},
 	}
 
-	t := r.AddTable("", "variant", "val_mape", "latency_mape", "params")
-	var fullModel *surrogate.Model
-	for _, v := range variants {
+	// One serial sweep cell per variant (training holds the process-global
+	// grad mode, so the engine runs these on one worker); rows assemble from
+	// the cells in variant order.
+	models := make([]trained, len(variants))
+	if err := l.sweepSerial(len(variants), func(c *sweep.Cell) error {
+		v := variants[c.Index]
 		m, val, err := l.trainVariant(v.mutate, v.train)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if fullModel == nil {
-			fullModel = m
-		}
+		models[c.Index] = trained{m, val}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := r.AddTable("", "variant", "val_mape", "latency_mape", "params")
+	for i, v := range variants {
+		m, val := models[i].m, models[i].val
 		t.AddRow(v.name, fmtPct(m.EvalMAPE(val)), fmtPct(m.LatencyMAPE(val)),
 			fmt.Sprintf("%d", m.NumParams()))
 	}
+	fullModel := models[0].m
 
 	// Encode-once vs naive grid inference.
 	inter := l.Trace("azure").Interarrivals()

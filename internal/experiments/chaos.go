@@ -3,55 +3,81 @@ package experiments
 import (
 	"deepbat/internal/fault"
 	"deepbat/internal/qsim"
+	"deepbat/internal/sweep"
 )
 
 // Chaos stress-tests the serving path under the deterministic fault model
 // (internal/fault): the first Azure paper-hour is replayed through the
 // simulator's failure mirror at increasing error rates, with and without a
 // retry budget, reporting how much latency, cost, and loss each level of
-// chaos inflicts. Fault outcomes are a pure function of (seed, invocation
-// index), so the tables reproduce byte for byte.
+// chaos inflicts. Every {plan, retry} point is one sweep cell on its own
+// simulator and registry; fault outcomes are a pure function of (seed,
+// invocation index), so the tables reproduce byte for byte at any worker
+// count.
 func Chaos(l *Lab) (*Report, error) {
 	r := &Report{ID: "chaos", Title: "fault injection: resilience of the serving path under chaos"}
 
 	hour := l.Trace("azure").FirstHours(1)
 	cfg := l.replayOptions().InitialConfig
 	retry := fault.Retry{Max: 2, BaseS: 0.05, CapS: 0.4}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	budgets := []int{0, 1, 2, 4}
 
-	run := func(plan *fault.Plan, rt fault.Retry) (*qsim.Result, error) {
-		sim := l.Simulator()
-		sim.Opts.Fault = plan
-		sim.Opts.Retry = rt
-		return sim.Run(hour.Timestamps, cfg)
+	// Cell 0 is the fault-free baseline, then the error-rate sweep, then the
+	// retry-budget ablation at a fixed 20% error rate.
+	type chaosCell struct {
+		plan  *fault.Plan
+		retry fault.Retry
+	}
+	cells := []chaosCell{{nil, fault.Retry{}}}
+	for _, eps := range rates {
+		cells = append(cells, chaosCell{
+			plan: &fault.Plan{
+				Seed:          7,
+				ErrorRate:     eps,
+				StragglerRate: 0.10,
+				ColdSpikeRate: 0.05,
+				ColdSpikeS:    0.2,
+			},
+			retry: retry,
+		})
+	}
+	for _, maxR := range budgets {
+		cells = append(cells, chaosCell{
+			plan:  &fault.Plan{Seed: 7, ErrorRate: 0.2},
+			retry: fault.Retry{Max: maxR, BaseS: 0.05, CapS: 0.4},
+		})
 	}
 
-	base, err := run(nil, fault.Retry{})
-	if err != nil {
+	results := make([]*qsim.Result, len(cells))
+	if err := l.sweep(len(cells), func(c *sweep.Cell) error {
+		sim := l.Simulator()
+		sim.Opts.Fault = cells[c.Index].plan
+		sim.Opts.Retry = cells[c.Index].retry
+		sim.Opts.Obs = c.Obs()
+		res, err := sim.Run(hour.Timestamps, cfg)
+		if err != nil {
+			return err
+		}
+		results[c.Index] = res
+		return nil
+	}); err != nil {
 		return nil, err
 	}
+	base := results[0]
+	loss := func(res *qsim.Result) float64 {
+		if n := len(res.Latencies); n > 0 {
+			return 100 * float64(res.FailedRequests) / float64(n)
+		}
+		return 0
+	}
 
-	sweep := r.AddTable("error-rate sweep (seed 7, straggler 10%, cold-spike 5%, retries ≤2)",
+	rateTbl := r.AddTable("error-rate sweep (seed 7, straggler 10%, cold-spike 5%, retries ≤2)",
 		"error rate", "batches", "retries", "failed reqs", "loss", "p95", "VCR", "cost/req")
-	rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
-	for _, eps := range rates {
-		plan := &fault.Plan{
-			Seed:          7,
-			ErrorRate:     eps,
-			StragglerRate: 0.10,
-			ColdSpikeRate: 0.05,
-			ColdSpikeS:    0.2,
-		}
-		res, err := run(plan, retry)
-		if err != nil {
-			return nil, err
-		}
-		n := len(res.Latencies)
-		loss := 0.0
-		if n > 0 {
-			loss = 100 * float64(res.FailedRequests) / float64(n)
-		}
-		sweep.AddRow(fmtPct(100*eps), fmtI(len(res.Batches)), fmtI(res.Retries),
-			fmtI(res.FailedRequests), fmtPct(loss),
+	for i, eps := range rates {
+		res := results[1+i]
+		rateTbl.AddRow(fmtPct(100*eps), fmtI(len(res.Batches)), fmtI(res.Retries),
+			fmtI(res.FailedRequests), fmtPct(loss(res)),
 			fmtMS(res.LatencyPercentile(95)), fmtPct(res.VCR(l.Cfg.SLO)),
 			fmtUSD(res.CostPerRequest()))
 	}
@@ -60,18 +86,9 @@ func Chaos(l *Lab) (*Report, error) {
 	// buys, and what it costs in tail latency.
 	abl := r.AddTable("retry budget at 20% error rate",
 		"max retries", "retries", "failed reqs", "loss", "p95", "cost/req")
-	for _, maxR := range []int{0, 1, 2, 4} {
-		plan := &fault.Plan{Seed: 7, ErrorRate: 0.2}
-		res, err := run(plan, fault.Retry{Max: maxR, BaseS: 0.05, CapS: 0.4})
-		if err != nil {
-			return nil, err
-		}
-		n := len(res.Latencies)
-		loss := 0.0
-		if n > 0 {
-			loss = 100 * float64(res.FailedRequests) / float64(n)
-		}
-		abl.AddRow(fmtI(maxR), fmtI(res.Retries), fmtI(res.FailedRequests), fmtPct(loss),
+	for i, maxR := range budgets {
+		res := results[1+len(rates)+i]
+		abl.AddRow(fmtI(maxR), fmtI(res.Retries), fmtI(res.FailedRequests), fmtPct(loss(res)),
 			fmtMS(res.LatencyPercentile(95)), fmtUSD(res.CostPerRequest()))
 	}
 

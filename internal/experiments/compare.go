@@ -24,6 +24,11 @@ func periodsIn(res *deepbat.ReplayResult, fromS, toS float64) []int {
 // SLO (VCR = 0 under moderate burstiness) but BATCH occasionally costs more.
 func Fig6(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig6", Title: "Cost comparison, Azure snapshot (both meet the SLO)"}
+	if err := l.warmReplays("azure", []replayKey{
+		{kindDeepBAT, l.Cfg.SLO}, {kindBATCH, l.Cfg.SLO},
+	}); err != nil {
+		return nil, err
+	}
 	db, err := l.Replay("azure", kindDeepBAT, l.Cfg.SLO)
 	if err != nil {
 		return nil, err
@@ -124,6 +129,11 @@ func costAfter(res *deepbat.ReplayResult, fromS float64) float64 {
 // latencyCostHour renders per-period P95 latency and cost for one hour of a
 // replay pair (the template behind Figs. 7, 9).
 func latencyCostHour(l *Lab, r *Report, traceName string, hourFrom, hourTo int) error {
+	if err := l.warmReplays(traceName, []replayKey{
+		{kindDeepBAT, l.Cfg.SLO}, {kindBATCH, l.Cfg.SLO},
+	}); err != nil {
+		return err
+	}
 	db, err := l.Replay(traceName, kindDeepBAT, l.Cfg.SLO)
 	if err != nil {
 		return err
@@ -185,6 +195,11 @@ func Fig9(l *Lab) (*Report, error) {
 // DeepBAT, BATCH, and the ground truth over synthetic hours 3-4.
 func Fig11(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig11", Title: "Synthetic hours 3-4: configurations returned per period"}
+	if err := l.warmReplays("synthetic", []replayKey{
+		{kindDeepBAT, l.Cfg.SLO}, {kindBATCH, l.Cfg.SLO}, {kindOracle, l.Cfg.SLO},
+	}); err != nil {
+		return nil, err
+	}
 	db, err := l.Replay("synthetic", kindDeepBAT, l.Cfg.SLO)
 	if err != nil {
 		return nil, err
@@ -250,6 +265,16 @@ func Fig11(l *Lab) (*Report, error) {
 func Fig12(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig12", Title: "Synthetic hours 2-3 under SLO=0.15s (+ SLO sweep)"}
 	const slo = 0.15
+	sloSweep := []float64{0.05, 0.15, 0.2}
+	// Warm every replay the figure needs — the 0.15 headline pair and the
+	// SLO sweep — as parallel cells, then assemble from the cache.
+	keys := make([]replayKey, 0, 2*len(sloSweep))
+	for _, s := range sloSweep {
+		keys = append(keys, replayKey{kindDeepBAT, s}, replayKey{kindBATCH, s})
+	}
+	if err := l.warmReplays("synthetic", keys); err != nil {
+		return nil, err
+	}
 	db, err := l.Replay("synthetic", kindDeepBAT, slo)
 	if err != nil {
 		return nil, err
@@ -273,8 +298,8 @@ func Fig12(l *Lab) (*Report, error) {
 		bp95, _ := stats.Percentile(bp.Latencies, 95)
 		t.AddRow(fmtF(dp.StartS), fmtMS(dp95), fmtMS(bp95), fmtMS(slo))
 	}
-	sweep := r.AddTable("VCR across SLO settings (full trace)", "slo", "deepbat_vcr", "batch_vcr")
-	for _, s := range []float64{0.05, 0.15, 0.2} {
+	sloTbl := r.AddTable("VCR across SLO settings (full trace)", "slo", "deepbat_vcr", "batch_vcr")
+	for _, s := range sloSweep {
 		d, err := l.Replay("synthetic", kindDeepBAT, s)
 		if err != nil {
 			return nil, err
@@ -283,7 +308,7 @@ func Fig12(l *Lab) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sweep.AddRow(fmtMS(s), fmtPct(d.VCR()), fmtPct(b.VCR()))
+		sloTbl.AddRow(fmtMS(s), fmtPct(d.VCR()), fmtPct(b.VCR()))
 	}
 	r.AddNote("expected shape: DeepBAT latency under the SLO line, BATCH above it after workload shifts; the gap persists across SLO settings")
 	return r, nil

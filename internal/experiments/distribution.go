@@ -7,6 +7,7 @@ import (
 
 	"deepbat"
 	"deepbat/internal/stats"
+	"deepbat/internal/sweep"
 )
 
 // fig13Config returns the fixed configuration each trace's distribution is
@@ -62,16 +63,36 @@ func systemFor(l *Lab, name string) (*deepbat.System, error) {
 // (2.85% / 3.11% / 3.32% / 3.07% on its testbed).
 func Fig13(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig13", Title: "Latency distribution prediction (predicted vs simulated percentiles)"}
-	sim := l.Simulator()
-	for _, name := range []string{"azure", "twitter", "alibaba", "synthetic"} {
-		sys, err := systemFor(l, name)
-		if err != nil {
+	names := []string{"azure", "twitter", "alibaba", "synthetic"}
+	// Train the systems and generate the traces serially (training holds
+	// the process-global grad mode), then evaluate each trace's windows as
+	// one parallel cell — window evaluation is pure no-grad inference plus
+	// simulation, so cells fan out and the report assembles in trace order.
+	for _, name := range names {
+		if _, err := systemFor(l, name); err != nil {
 			return nil, err
 		}
+		l.Trace(name)
+	}
+	type fig13Out struct {
+		used   int
+		levels []float64
+		pred   []float64 // per-level mean predicted latency
+		obs    []float64 // per-level mean observed latency
+		mape   float64
+	}
+	outs := make([]fig13Out, len(names))
+	if err := l.sweep(len(names), func(c *sweep.Cell) error {
+		name := names[c.Index]
+		sys, err := systemFor(l, name)
+		if err != nil {
+			return err
+		}
+		sim := l.Simulator()
 		cfg := fig13Config(name)
 		windows := testWindows(l, name, sys.Model.Cfg.SeqLen, 40)
 		if len(windows) == 0 {
-			continue
+			return nil
 		}
 		levels := sys.Model.Cfg.Percentiles
 		predSum := make([]float64, len(levels))
@@ -93,15 +114,29 @@ func Fig13(l *Lab) (*Report, error) {
 			used++
 		}
 		if used == 0 {
+			return nil
+		}
+		for i := range levels {
+			predSum[i] /= float64(used)
+			obsSum[i] /= float64(used)
+		}
+		outs[c.Index] = fig13Out{used: used, levels: levels, pred: predSum, obs: obsSum, mape: stats.MAPE(preds, obs)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		out := outs[i]
+		if out.used == 0 {
 			continue
 		}
 		t := r.AddTable(
-			fmt.Sprintf("%s (%s, %d windows)", name, cfg.String(), used),
+			fmt.Sprintf("%s (%s, %d windows)", name, fig13Config(name).String(), out.used),
 			"percentile", "predicted", "observed")
-		for i, lv := range levels {
-			t.AddRow(fmtF(lv), fmtMS(predSum[i]/float64(used)), fmtMS(obsSum[i]/float64(used)))
+		for j, lv := range out.levels {
+			t.AddRow(fmtF(lv), fmtMS(out.pred[j]), fmtMS(out.obs[j]))
 		}
-		r.AddNote("%s latency MAPE: %s", name, fmtPct(stats.MAPE(preds, obs)))
+		r.AddNote("%s latency MAPE: %s", name, fmtPct(out.mape))
 	}
 	r.AddNote("expected shape: predicted percentile curves hug the observed ones on all four traces; MAPE within a few percent")
 	return r, nil
@@ -119,8 +154,19 @@ func Fig14(l *Lab) (*Report, error) {
 		return nil, err
 	}
 	t := r.AddTable("", "trace", "windows", "corr(attention, log gap)", "top5_overlap")
-	for _, name := range []string{"azure", "twitter", "alibaba", "synthetic"} {
-		windows := testWindows(l, name, base.Model.Cfg.SeqLen, 20)
+	names := []string{"azure", "twitter", "alibaba", "synthetic"}
+	for _, name := range names {
+		l.Trace(name) // generate serially so cells only read
+	}
+	type fig14Out struct {
+		windows       int
+		corr, overlap float64
+	}
+	outs := make([]fig14Out, len(names))
+	// AttentionScores is pure no-grad inference on the shared base model, so
+	// each trace is one parallel cell.
+	if err := l.sweep(len(names), func(c *sweep.Cell) error {
+		windows := testWindows(l, names[c.Index], base.Model.Cfg.SeqLen, 20)
 		var corrs, overlaps []float64
 		for _, w := range windows {
 			scores := base.Model.AttentionScores(w)
@@ -132,10 +178,19 @@ func Fig14(l *Lab) (*Report, error) {
 			overlaps = append(overlaps, topKOverlap(scores, gaps, 5))
 		}
 		if len(corrs) == 0 {
+			return nil
+		}
+		outs[c.Index] = fig14Out{windows: len(corrs), corr: stats.Mean(corrs), overlap: stats.Mean(overlaps)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		if outs[i].windows == 0 {
 			continue
 		}
-		t.AddRow(name, fmt.Sprintf("%d", len(corrs)),
-			fmtF(stats.Mean(corrs)), fmtPct(stats.Mean(overlaps)*100))
+		t.AddRow(name, fmt.Sprintf("%d", outs[i].windows),
+			fmtF(outs[i].corr), fmtPct(outs[i].overlap*100))
 	}
 	r.AddNote("expected shape: positive correlation on every trace — high attention aligns with long-gap positions, including on unseen (OOD) traces")
 	return r, nil

@@ -18,9 +18,12 @@ import (
 	"deepbat"
 	"deepbat/internal/core"
 	"deepbat/internal/lambda"
+	"deepbat/internal/obs"
 	"deepbat/internal/qsim"
 	"deepbat/internal/surrogate"
+	"deepbat/internal/sweep"
 	"deepbat/internal/trace"
+	"deepbat/internal/workload"
 )
 
 // LabConfig scales the evaluation.
@@ -36,6 +39,12 @@ type LabConfig struct {
 	// FineTuneSamples labels the first-hour OOD adaptation sets.
 	FineTuneSamples int
 	Grid            lambda.Grid
+	// Workers bounds each experiment's parallel fan-out through
+	// internal/sweep (0 = GOMAXPROCS, 1 = serial). Reports are byte-identical
+	// at every value: cells replay/simulate in isolation and merge in cell
+	// order. Training-bound cells ignore it and run serially — grad mode is
+	// a process-global scope (see tensor.NoGrad).
+	Workers int
 }
 
 // DefaultLabConfig matches the paper's setup at the default time scale. The
@@ -77,6 +86,15 @@ func QuickLabConfig() LabConfig {
 type Lab struct {
 	Cfg LabConfig
 
+	// Obs, when non-nil, accumulates the merged metric registries of every
+	// sweep cell (replay gateways, chaos simulators) in cell-index order —
+	// the deterministic snapshot cmd/experiments -metrics writes.
+	Obs *obs.Registry
+	// WL is the shared read-only workload cache: each tracev1 trace is
+	// synthesized and digested once and its slices are shared across every
+	// cell that replays it.
+	WL *workload.Cache
+
 	mu      sync.Mutex
 	traces  map[string]*trace.Trace
 	base    *deepbat.System
@@ -88,10 +106,56 @@ type Lab struct {
 func NewLab(cfg LabConfig) *Lab {
 	return &Lab{
 		Cfg:     cfg,
+		WL:      workload.NewCache(),
 		traces:  map[string]*trace.Trace{},
 		tuned:   map[string]*deepbat.System{},
 		replays: map[string]*deepbat.ReplayResult{},
 	}
+}
+
+// sweep fans n independent cells out across the lab's worker budget,
+// merging per-cell telemetry into l.Obs in cell order.
+func (l *Lab) sweep(n int, fn func(c *sweep.Cell) error) error {
+	return sweep.Run(sweep.Options{Workers: l.Cfg.Workers, Seed: l.Cfg.Seed, Obs: l.Obs}, n, fn)
+}
+
+// sweepSerial runs n cells through the engine pinned to one worker. It is
+// the required shape for cells that train models: tensor's grad mode is a
+// process-global scope, so grad-mode training may never overlap another
+// cell's no-grad evaluation. The cells still get per-cell seeds, isolated
+// registries, and panic capture.
+func (l *Lab) sweepSerial(n int, fn func(c *sweep.Cell) error) error {
+	return sweep.Run(sweep.Options{Workers: 1, Seed: l.Cfg.Seed, Obs: l.Obs}, n, fn)
+}
+
+// replayKey names one cached closed-loop replay.
+type replayKey struct {
+	kind deciderKind
+	slo  float64
+}
+
+// warmReplays fills the lab's replay cache for one trace in parallel: the
+// systems each key needs are trained first (serially — training holds the
+// process-global grad mode), then the replays themselves, which are pure
+// inference and simulation, fan out as sweep cells. Callers then assemble
+// tables from the warm cache in their own deterministic order.
+func (l *Lab) warmReplays(traceName string, keys []replayKey) error {
+	for _, k := range keys {
+		if k.kind == kindDeepBAT && (traceName == "alibaba" || traceName == "synthetic") {
+			if _, err := l.TunedSystem(traceName); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := l.BaseSystem(); err != nil {
+			return err
+		}
+	}
+	l.Trace(traceName) // generate once up front rather than under the first cell's lock
+	return l.sweep(len(keys), func(c *sweep.Cell) error {
+		_, err := l.Replay(traceName, keys[c.Index].kind, keys[c.Index].slo)
+		return err
+	})
 }
 
 // Trace returns the named workload, generating and caching it on first use.

@@ -6,17 +6,21 @@ import (
 	"deepbat/internal/fault"
 	"deepbat/internal/gateway"
 	"deepbat/internal/replay"
+	"deepbat/internal/sweep"
 	"deepbat/internal/workload"
 )
 
 // Scenarios sweeps the workload zoo through the real gateway hot path:
 // every {trace x fault plan x SLO} cell is one virtual-time replay
 // (internal/replay) of a tracev1 workload against gateway.Submit with
-// virtual batch timers — not the discrete-event simulator. The table is
-// fully deterministic: traces are pure functions of their specs, fault
-// outcomes are pure functions of the plan, and the replay driver is
-// single-threaded on a manual clock, so this report is byte-identical run
-// to run. It is the evaluation substrate ROADMAP items 1-4 plug into: a
+// virtual batch timers — not the discrete-event simulator. The matrix fans
+// out across internal/sweep workers: each cell replays on its own gateway
+// with an isolated metric registry, traces and digests come from the lab's
+// shared read-only workload cache, and rows merge in cell-index order — so
+// the table is byte-identical run to run AND at any worker count (traces
+// are pure functions of their specs, fault outcomes are pure functions of
+// the plan, and each replay driver is single-threaded on its own manual
+// clock). It is the evaluation substrate ROADMAP items 1-4 plug into: a
 // rival decider or retrained surrogate swaps into the gateway and reruns
 // the identical request streams.
 func Scenarios(l *Lab) (*Report, error) {
@@ -37,43 +41,81 @@ func Scenarios(l *Lab) (*Report, error) {
 	}
 	slos := []float64{0.1, 0.25}
 
+	// Phase 1: synthesize the traces as parallel cells into the shared
+	// cache; every replay cell below reads the same trace slices and
+	// memoized digests.
+	type traceInfo struct {
+		t      *workload.Trace
+		digest uint64
+	}
+	infos := make([]traceInfo, len(traces))
+	if err := l.sweep(len(traces), func(c *sweep.Cell) error {
+		spec := workload.DefaultSpec(traces[c.Index])
+		spec.Hours, spec.HourSeconds = 2, 30
+		t, err := l.WL.Generate(spec)
+		if err != nil {
+			return err
+		}
+		digest, err := l.WL.Digest(t)
+		if err != nil {
+			return err
+		}
+		infos[c.Index] = traceInfo{t, digest}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, tn := range traces {
+		rep.AddNote("%s: %d requests, %d classes, tracev1 digest %016x",
+			tn, len(infos[i].t.Reqs), len(infos[i].t.Header.Classes), infos[i].digest)
+	}
+
+	// Phase 2: the full matrix, one replay per cell. Each cell's gateway
+	// records into the cell's private registry; rows land at the cell index,
+	// so the fan-in below walks {trace x plan x slo} in the serial order.
+	type cellKey struct{ ti, pi, si int }
+	cells := make([]cellKey, 0, len(traces)*len(plans)*len(slos))
+	for ti := range traces {
+		for pi := range plans {
+			for si := range slos {
+				cells = append(cells, cellKey{ti, pi, si})
+			}
+		}
+	}
+	rows := make([][]string, len(cells))
+	if err := l.sweep(len(cells), func(c *sweep.Cell) error {
+		k := cells[c.Index]
+		r, err := replay.Run(replay.Config{
+			Trace:      infos[k.ti].t,
+			Shards:     1,
+			SLO:        slos[k.si],
+			Fault:      plans[k.pi].plan,
+			Resilience: plans[k.pi].res,
+			WindowS:    30,
+			Obs:        c.Obs(),
+			Cache:      l.WL,
+		})
+		if err != nil {
+			return fmt.Errorf("scenarios: %s/%s: %w", traces[k.ti], plans[k.pi].name, err)
+		}
+		tot := r.Totals
+		rows[c.Index] = []string{
+			traces[k.ti], plans[k.pi].name, fmtMS(slos[k.si]), fmtI(r.Requests),
+			fmtI(tot.Served), fmtI(tot.Failed),
+			fmtF(tot.ThroughputRPS), fmtF(tot.GoodputRPS),
+			fmtMS(tot.P50MS / 1000), fmtMS(tot.P95MS / 1000), fmtMS(tot.P99MS / 1000),
+			fmtUSD(r.CostUSD),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	tbl := rep.AddTable("replay: M=2048MB B=4 T=100ms, 1 shard, 2 paper-hours at 30 s/hour",
 		"trace", "fault", "slo", "requests", "served", "failed",
 		"thru_rps", "good_rps", "p50", "p95", "p99", "cost")
-	for _, tn := range traces {
-		spec := workload.DefaultSpec(tn)
-		spec.Hours, spec.HourSeconds = 2, 30
-		t, err := workload.Generate(spec)
-		if err != nil {
-			return nil, err
-		}
-		digest, err := workload.Digest(t)
-		if err != nil {
-			return nil, err
-		}
-		rep.AddNote("%s: %d requests, %d classes, tracev1 digest %016x",
-			tn, len(t.Reqs), len(t.Header.Classes), digest)
-		for _, pl := range plans {
-			for _, slo := range slos {
-				r, err := replay.Run(replay.Config{
-					Trace:      t,
-					Shards:     1,
-					SLO:        slo,
-					Fault:      pl.plan,
-					Resilience: pl.res,
-					WindowS:    30,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("scenarios: %s/%s: %w", tn, pl.name, err)
-				}
-				tot := r.Totals
-				tbl.AddRow(tn, pl.name, fmtMS(slo), fmtI(r.Requests),
-					fmtI(tot.Served), fmtI(tot.Failed),
-					fmtF(tot.ThroughputRPS), fmtF(tot.GoodputRPS),
-					fmtMS(tot.P50MS/1000), fmtMS(tot.P95MS/1000), fmtMS(tot.P99MS/1000),
-					fmtUSD(r.CostUSD))
-			}
-		}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	rep.AddNote("every cell replays the recorded request stream through gateway.Submit on a virtual clock (Config.VirtualTimers); same table on every run and machine")
 	return rep, nil

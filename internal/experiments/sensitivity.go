@@ -5,12 +5,39 @@ import (
 	"time"
 
 	"deepbat/internal/surrogate"
+	"deepbat/internal/sweep"
 )
 
 // trainFor trains a fresh surrogate with the given architecture overrides on
 // Azure data and returns it with its validation set.
 func (l *Lab) trainFor(mutate func(*surrogate.ModelConfig)) (*surrogate.Model, *surrogate.Dataset, error) {
 	return l.trainVariant(mutate, nil)
+}
+
+// trained is one (model, validation set) pair produced by a training cell.
+type trained struct {
+	m   *surrogate.Model
+	val *surrogate.Dataset
+}
+
+// trainCells trains one surrogate variant per mutation through the sweep
+// engine. The fan-out is pinned serial (sweepSerial): grad mode is a
+// process-global scope, so two training cells may never overlap — but each
+// variant still runs as an isolated, panic-captured cell.
+func (l *Lab) trainCells(mutations []func(*surrogate.ModelConfig)) ([]trained, error) {
+	out := make([]trained, len(mutations))
+	err := l.sweepSerial(len(mutations), func(c *sweep.Cell) error {
+		m, val, err := l.trainFor(mutations[c.Index])
+		if err != nil {
+			return err
+		}
+		out[c.Index] = trained{m, val}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // seqLenSweep returns the sequence lengths evaluated by Fig15a, scaled from
@@ -27,12 +54,20 @@ func Fig15a(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig15a", Title: "Sensitivity to sequence length"}
 	t := r.AddTable("", "seq_len", "time_per_sequence", "val_mape")
 	tw := l.Trace("azure")
-	for _, sl := range l.seqLenSweep() {
+	lens := l.seqLenSweep()
+	muts := make([]func(*surrogate.ModelConfig), len(lens))
+	for i, sl := range lens {
 		sl := sl
-		m, val, err := l.trainFor(func(mc *surrogate.ModelConfig) { mc.SeqLen = sl })
-		if err != nil {
-			return nil, err
-		}
+		muts[i] = func(mc *surrogate.ModelConfig) { mc.SeqLen = sl }
+	}
+	models, err := l.trainCells(muts)
+	if err != nil {
+		return nil, err
+	}
+	// Inference timing stays outside the cells: it is a wall-clock
+	// measurement, and concurrent cells would contend for the core.
+	for i, sl := range lens {
+		m, val := models[i].m, models[i].val
 		// Inference time per sequence: encode + full-grid scoring, averaged.
 		inter := tw.Interarrivals()
 		if len(inter) < sl {
@@ -42,7 +77,7 @@ func Fig15a(l *Lab) (*Report, error) {
 		cfgs := l.Cfg.Grid.Configs()
 		const reps = 10
 		start := time.Now()
-		for i := 0; i < reps; i++ {
+		for rep := 0; rep < reps; rep++ {
 			m.PredictGrid(window, cfgs)
 		}
 		per := time.Since(start) / reps
@@ -58,12 +93,18 @@ func Fig15a(l *Lab) (*Report, error) {
 func Fig15b(l *Lab) (*Report, error) {
 	r := &Report{ID: "fig15b", Title: "Ablation on Transformer encoder layers"}
 	t := r.AddTable("", "layers", "val_mape", "final_val_loss")
-	for _, layers := range []int{1, 2, 4, 6} {
+	layerCounts := []int{1, 2, 4, 6}
+	muts := make([]func(*surrogate.ModelConfig), len(layerCounts))
+	for i, layers := range layerCounts {
 		layers := layers
-		m, val, err := l.trainFor(func(mc *surrogate.ModelConfig) { mc.EncoderLayers = layers })
-		if err != nil {
-			return nil, err
-		}
+		muts[i] = func(mc *surrogate.ModelConfig) { mc.EncoderLayers = layers }
+	}
+	models, err := l.trainCells(muts)
+	if err != nil {
+		return nil, err
+	}
+	for i, layers := range layerCounts {
+		m, val := models[i].m, models[i].val
 		tc := surrogate.DefaultTrainConfig()
 		tc.SLO = l.Cfg.SLO
 		t.AddRow(fmt.Sprintf("%d", layers), fmtPct(m.EvalMAPE(val)), fmtF(m.EvalLoss(val, tc)))

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"deepbat/internal/obs"
+)
+
+// scenariosAt runs the scenarios experiment on a fresh lab at the given
+// worker count and returns the rendered report plus the merged metric
+// snapshot of every cell.
+func scenariosAt(t *testing.T, workers int) (string, []byte) {
+	t.Helper()
+	cfg := QuickLabConfig()
+	cfg.Workers = workers
+	l := NewLab(cfg)
+	l.Obs = obs.NewRegistry()
+	rep, err := Scenarios(l)
+	if err != nil {
+		t.Fatalf("Scenarios(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := l.Obs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep.String(), buf.Bytes()
+}
+
+// TestScenariosWorkerInvariance pins the acceptance criterion of the sweep
+// retrofit: the scenarios report AND the merged metric snapshot are
+// byte-identical at any worker count.
+func TestScenariosWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenarios matrix is expensive; run without -short")
+	}
+	refRep, refSnap := scenariosAt(t, 1)
+	for _, w := range []int{4, 8} {
+		rep, snap := scenariosAt(t, w)
+		if rep != refRep {
+			t.Fatalf("workers=%d report differs from workers=1:\n--- w=%d ---\n%s\n--- w=1 ---\n%s", w, w, rep, refRep)
+		}
+		if !bytes.Equal(snap, refSnap) {
+			t.Fatalf("workers=%d merged metric snapshot differs from workers=1", w)
+		}
+	}
+}
+
+// TestChaosWorkerInvariance covers the qsim-backed sweep the same way.
+func TestChaosWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is expensive; run without -short")
+	}
+	run := func(workers int) (string, []byte) {
+		cfg := QuickLabConfig()
+		cfg.Workers = workers
+		l := NewLab(cfg)
+		l.Obs = obs.NewRegistry()
+		rep, err := Chaos(l)
+		if err != nil {
+			t.Fatalf("Chaos(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := l.Obs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep.String(), buf.Bytes()
+	}
+	refRep, refSnap := run(1)
+	rep, snap := run(8)
+	if rep != refRep {
+		t.Fatalf("workers=8 chaos report differs from workers=1")
+	}
+	if !bytes.Equal(snap, refSnap) {
+		t.Fatalf("workers=8 chaos metric snapshot differs from workers=1")
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+// Merge folds every series of src into r, creating series on first sight:
+// counter and gauge values add, histograms merge bucket-wise (layouts must
+// match), and the help string of the first registration wins. Source series
+// are visited in name order, so merging the same registries in the same
+// sequence always performs the identical float additions — the property the
+// sweep engine relies on to make fan-in byte-deterministic regardless of
+// worker count. It errors, never panics, on kind or bucket-layout
+// collisions. src is read via the same snapshot path exposition uses and is
+// not modified.
+func (r *Registry) Merge(src *Registry) error {
+	for _, s := range src.sortedSeries() {
+		switch s.kind {
+		case KindCounter:
+			c, err := r.Counter(s.name, s.help)
+			if err != nil {
+				return err
+			}
+			c.Add(s.c.Value())
+		case KindGauge:
+			g, err := r.Gauge(s.name, s.help)
+			if err != nil {
+				return err
+			}
+			g.Add(s.g.Value())
+		case KindHistogram:
+			h, err := r.Histogram(s.name, s.help, s.h.Bounds())
+			if err != nil {
+				return err
+			}
+			if err := h.Merge(s.h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Append appends src's event stream onto r in record order, respecting r's
+// capacity bound (overflow counts as dropped, as with live recording) and
+// carrying src's own drop count over. It is the recorder half of the sweep
+// fan-in: per-cell streams appended in cell-index order yield one
+// deterministic merged stream.
+func (r *Recorder) Append(src *Recorder) {
+	events := src.Events()
+	dropped := src.Dropped()
+	r.mu.Lock()
+	for _, e := range events {
+		if len(r.events) >= r.max {
+			r.dropped++
+		} else {
+			r.events = append(r.events, e)
+		}
+	}
+	r.dropped += dropped
+	r.mu.Unlock()
+}

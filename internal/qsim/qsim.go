@@ -16,6 +16,7 @@ import (
 	"deepbat/internal/lambda"
 	"deepbat/internal/obs"
 	"deepbat/internal/stats"
+	"deepbat/internal/sweep"
 )
 
 // Options controls optional simulator behaviour.
@@ -51,6 +52,13 @@ type Options struct {
 	// exact). A batch that exhausts its retries fails: its requests get a
 	// time-to-failure latency, zero cost, and a Result.Failed mark.
 	Retry fault.Retry
+	// Workers bounds the parallel fan-out of multi-run entry points —
+	// GroundTruthBest's grid search — via internal/sweep (0 = GOMAXPROCS,
+	// 1 = serial). Each grid config is one independent pure Run, so results
+	// and the selected config are bit-identical at any worker count. The
+	// fan-out engages only when Obs and Recorder are nil: shared sinks would
+	// interleave nondeterministically, so instrumented searches stay serial.
+	Workers int
 }
 
 // Simulator evaluates configurations against arrival traces.
@@ -448,13 +456,33 @@ func (s *Simulator) GroundTruthBest(arrivals []float64, grid lambda.Grid, slo, p
 		res  *Result
 		tail float64
 	}
-	var all []scored
-	for _, cfg := range grid.Configs() {
-		res, err := s.Run(arrivals, cfg)
+	configs := grid.Configs()
+	all := make([]scored, len(configs))
+	runOne := func(i int) error {
+		res, err := s.Run(arrivals, configs[i])
+		if err != nil {
+			return err
+		}
+		all[i] = scored{configs[i], res, res.LatencyPercentile(pct)}
+		return nil
+	}
+	if s.Opts.Workers != 1 && s.Opts.Obs == nil && s.Opts.Recorder == nil {
+		// Each config's Run is a pure function of (arrivals, config), so the
+		// grid fans out across workers; results land at their grid index and
+		// the selection below scans them in grid order, keeping the chosen
+		// config bit-identical to a serial search.
+		err := sweep.Run(sweep.Options{Workers: s.Opts.Workers}, len(configs), func(c *sweep.Cell) error {
+			return runOne(c.Index)
+		})
 		if err != nil {
 			return lambda.Config{}, nil, err
 		}
-		all = append(all, scored{cfg, res, res.LatencyPercentile(pct)})
+	} else {
+		for i := range configs {
+			if err := runOne(i); err != nil {
+				return lambda.Config{}, nil, err
+			}
+		}
 	}
 	bestIdx := -1
 	for i, sc := range all {

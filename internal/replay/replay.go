@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"deepbat/internal/fault"
@@ -68,6 +69,11 @@ type Config struct {
 	// Obs, when non-nil, is the registry the gateway records into; inject
 	// one to capture the run's full metric snapshot alongside the report.
 	Obs *obs.Registry
+	// Cache, when non-nil, memoizes trace-derived views (notably the O(n)
+	// tracev1 digest re-encode) across runs — the sweep engine's cells share
+	// one so a 40-cell matrix digests each trace once, not once per cell.
+	// Reports are byte-identical with or without it.
+	Cache *workload.Cache
 }
 
 // Window is one report row: requests are assigned to windows by their
@@ -143,6 +149,66 @@ func (c Config) windowS() float64 {
 	return 60
 }
 
+func (c Config) digest() (uint64, error) {
+	if c.Cache != nil {
+		return c.Cache.Digest(c.Trace)
+	}
+	return workload.Digest(c.Trace)
+}
+
+// scratch is the per-run working set Run needs besides the Report itself:
+// one handle and one arrival stamp per request, the latency accumulators the
+// percentiles are computed from, and the per-window latency buckets. None of
+// it survives the run, so sweeps recycle it through scratchPool instead of
+// re-allocating trace-sized slices for every cell.
+type scratch struct {
+	handles []gateway.Handle
+	arrive  []float64
+	all     []float64
+	perWin  [][]float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns a scratch sized for nreq requests, with every slice
+// length-set and logically empty; reused capacity is overwritten or appended
+// past, never read.
+func getScratch(nreq int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.handles) < nreq {
+		s.handles = make([]gateway.Handle, nreq)
+	}
+	if cap(s.arrive) < nreq {
+		s.arrive = make([]float64, nreq)
+	}
+	s.handles = s.handles[:nreq]
+	s.arrive = s.arrive[:nreq]
+	s.all = s.all[:0]
+	return s
+}
+
+// winBuckets returns nwin logically empty per-window latency buckets,
+// reusing the capacity of previous runs' buckets.
+func (s *scratch) winBuckets(nwin int) [][]float64 {
+	if cap(s.perWin) < nwin {
+		s.perWin = append(s.perWin[:cap(s.perWin)], make([][]float64, nwin-cap(s.perWin))...)
+	}
+	s.perWin = s.perWin[:nwin]
+	for i := range s.perWin {
+		s.perWin[i] = s.perWin[i][:0]
+	}
+	return s.perWin
+}
+
+// putScratch returns the working set to the pool. Handles are cleared so the
+// pool does not pin resolved gateway responses between runs.
+func putScratch(s *scratch) {
+	for i := range s.handles {
+		s.handles[i] = gateway.Handle{}
+	}
+	scratchPool.Put(s)
+}
+
 // Run replays the trace and returns its report.
 func Run(c Config) (Report, error) {
 	if c.Trace == nil {
@@ -151,7 +217,7 @@ func Run(c Config) (Report, error) {
 	if len(c.Trace.Reqs) == 0 {
 		return Report{}, errors.New("replay: trace has no requests")
 	}
-	digest, err := workload.Digest(c.Trace)
+	digest, err := c.digest()
 	if err != nil {
 		return Report{}, fmt.Errorf("replay: %w", err)
 	}
@@ -184,8 +250,9 @@ func Run(c Config) (Report, error) {
 	// backend advance is then superseded by the next Set), then stamp the
 	// arrival and submit on the pooled hot path.
 	reqs := c.Trace.Reqs
-	handles := make([]gateway.Handle, len(reqs))
-	arrive := make([]float64, len(reqs))
+	s := getScratch(len(reqs))
+	defer putScratch(s)
+	handles, arrive := s.handles, s.arrive
 	for i, rq := range reqs {
 		at := rq.AtS / ts
 		flushUntil(g, clock, at)
@@ -208,9 +275,9 @@ func Run(c Config) (Report, error) {
 	// channels / direct writes), so Wait never blocks here.
 	win := c.windowS()
 	n := int(end/win) + 1
-	windows := make([]Window, n)
-	var all []float64
-	perWin := make([][]float64, n)
+	windows := make([]Window, n) // escapes into the Report; never pooled
+	all := s.all
+	perWin := s.winBuckets(n)
 	sloMS := c.SLO * 1000
 	var totals Window
 	for i, h := range handles {
@@ -265,6 +332,7 @@ func Run(c Config) (Report, error) {
 	totals.P50MS, _ = stats.Percentile(all, 50)
 	totals.P95MS, _ = stats.Percentile(all, 95)
 	totals.P99MS, _ = stats.Percentile(all, 99)
+	s.all = all // keep capacity grown by appends for the next pooled run
 	st := g.Stats()
 	totals.CostUSD = st.TotalCostUSD
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package sweep
+
+// raceEnabled reports that this binary was built with -race. The race
+// runtime instruments every allocation, so the AllocsPerRun dispatch budget
+// is asserted only in non-race builds.
+const raceEnabled = true
