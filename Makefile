@@ -17,14 +17,18 @@ GO ?= go
 # parallel), the workload/replay pair (whose replay driver runs the
 # gateway's batching goroutines from a virtual-time driver), the sweep
 # engine (worker pools claiming cells off a shared atomic cursor), the
-# qsim grid search (which fans out over sweep workers), and the
-# experiments lab (whose cell-parallel figures must stay invariant under
-# the detector's scheduling perturbation).
-RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/... ./internal/workload/... ./internal/replay/... ./internal/sweep/... ./internal/qsim/...
+# qsim grid search (which fans out over sweep workers), the fleet layer
+# (whose per-group gateways, tuner ticker, and demultiplexing front door
+# all run concurrent goroutines), and the experiments lab (whose
+# cell-parallel figures must stay invariant under the detector's
+# scheduling perturbation).
+RACE_PKGS = ./internal/tensor/... ./internal/gemm/... ./internal/surrogate/... ./internal/batchopt/... ./internal/gateway/... ./internal/fault/... ./internal/obs/... ./internal/loadgen/... ./internal/analysis/... ./internal/workload/... ./internal/replay/... ./internal/sweep/... ./internal/qsim/... ./internal/fleet/...
 
 # Per-package coverage floors enforced by `make cover` (see the cover target).
 COVER_FLOOR_GATEWAY = 80
 COVER_FLOOR_FAULT   = 90
+COVER_FLOOR_REPLAY  = 80
+COVER_FLOOR_FLEET   = 80
 
 .PHONY: verify fmtcheck lint test race bench fuzz chaos cover loadgen-smoke replay-smoke sweep-smoke
 
@@ -78,10 +82,13 @@ loadgen-smoke:
 ## discrete-event simulator's batching invariants (corpus seeds include
 ## fault schedules, so the failure mirror is fuzzed too); FuzzDecode hammers
 ## the tracev1 binary decoder (never panics, and anything it accepts must
-## round-trip bit-identically).
+## round-trip bit-identically); FuzzPlanValidate hammers the fleet plan
+## codec (never panics, and any plan the canonical decoder accepts must
+## re-encode bit-identically).
 fuzz:
 	$(GO) test -fuzz=FuzzRun -fuzztime=20s -run='^$$' ./internal/qsim
 	$(GO) test -fuzz=FuzzDecode -fuzztime=20s -run='^$$' ./internal/workload
+	$(GO) test -fuzz=FuzzPlanValidate -fuzztime=20s -run='^$$' ./internal/fleet
 
 ## replay-smoke: CI check for the workload-zoo replay path — generate a
 ## small azure tracev1 (digest-verified), replay it twice through the real
@@ -111,13 +118,17 @@ sweep-smoke:
 	@echo "sweep-smoke: byte-identical reports and metric snapshots at 1 vs 4 workers"
 
 ## chaos: the -race chaos soak — a real-time gateway under concurrent load
-## with seeded backend faults, retries, deadlines, and the breaker all live.
-## Bounded to ~20s (15s soak + harness overhead).
+## with seeded backend faults, retries, deadlines, and the breaker all live —
+## plus the fleet fault-isolation scenarios (an error storm on one class
+## opens only that class's breaker; sibling groups' observable bytes are
+## unchanged). Bounded to ~25s (15s soak + harness overhead).
 chaos:
 	CHAOS_SOAK_S=15 $(GO) test -race -run 'TestChaosSoak|TestChaosScenarios|TestChaosNoLeakedGoroutines' -v -timeout 120s ./internal/gateway/
+	$(GO) test -race -run 'TestFleetChaos' -v -timeout 120s ./internal/fleet/
 
 ## cover: per-package coverage gate. Fails if gateway drops below
-## $(COVER_FLOOR_GATEWAY)% or fault below $(COVER_FLOOR_FAULT)% of
+## $(COVER_FLOOR_GATEWAY)%, fault below $(COVER_FLOOR_FAULT)%, replay below
+## $(COVER_FLOOR_REPLAY)%, or fleet below $(COVER_FLOOR_FLEET)% of
 ## statements (stdlib tooling only: go test -coverprofile + go tool cover).
 cover:
 	@set -e; \
@@ -131,4 +142,6 @@ cover:
 		if [ "$$ok" != "1" ]; then echo "coverage below floor"; exit 1; fi; \
 	}; \
 	check ./internal/gateway $(COVER_FLOOR_GATEWAY) gateway; \
-	check ./internal/fault $(COVER_FLOOR_FAULT) fault
+	check ./internal/fault $(COVER_FLOOR_FAULT) fault; \
+	check ./internal/replay $(COVER_FLOOR_REPLAY) replay; \
+	check ./internal/fleet $(COVER_FLOOR_FLEET) fleet

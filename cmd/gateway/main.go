@@ -7,9 +7,17 @@
 //	gateway -model model.gob -addr :8080
 //	gateway -model model.gob -pprof            # also mount /debug/pprof/*
 //	gateway -model model.gob -demo -demo-rate 200 -demo-duration 10s
+//	gateway -plan fleet.json                   # multi-class fleet front door
 //
 // With -demo the command starts the server, drives synthetic Poisson traffic
 // against it, prints the resulting stats, and exits.
+//
+// With -plan the command serves a fleet instead of a single gateway: the
+// JSON plan declares the request classes (name, profile, SLO, optional merge
+// groups), POST /infer?class=<name> routes to the class's function group,
+// and each group re-searches its own (M, B, T) on the -decide-every period
+// via ground-truth simulation. -model and the fault/resilience flags do not
+// apply in plan mode; resilience comes from the plan.
 package main
 
 import (
@@ -22,11 +30,13 @@ import (
 	"net/http/httptest"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"deepbat"
 	"deepbat/internal/fault"
+	"deepbat/internal/fleet"
 	"deepbat/internal/gateway"
 	"deepbat/internal/lambda"
 )
@@ -34,6 +44,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	model := flag.String("model", "model.gob", "trained model path")
+	planPath := flag.String("plan", "", "fleet plan JSON file: serve a multi-class fleet instead of a single gateway")
 	slo := flag.Float64("slo", 0.1, "latency SLO in seconds")
 	decideEvery := flag.Duration("decide-every", 5*time.Second, "control period")
 	timeScale := flag.Float64("time-scale", 1.0, "backend wall-clock scale (0 = instant)")
@@ -57,6 +68,14 @@ func main() {
 	faultColdSpikeRate := flag.Float64("fault-cold-spike-rate", 0, "probability an invocation pays a cold-start spike")
 	faultDecideErrorRate := flag.Float64("fault-decide-error-rate", 0, "probability a control decision fails")
 	flag.Parse()
+
+	if *planPath != "" {
+		if *demo {
+			log.Fatal("gateway: -demo does not apply in -plan mode")
+		}
+		runFleet(*planPath, *addr, *decideEvery, *timeScale, *withPprof)
+		return
+	}
 
 	sys, err := deepbat.LoadSystem(*model, optionsWithSLO(*slo))
 	if err != nil {
@@ -143,6 +162,60 @@ func main() {
 	}
 	fmt.Printf("gateway listening on %s (POST /infer, GET /stats, GET /config, GET /metrics%s)\n", *addr, extra)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runFleet serves a multi-class fleet front door from a plan file: one
+// sharded gateway per function group, each tuned on the control period by
+// ground-truth simulation over its own arrival window.
+func runFleet(planPath, addr string, decideEvery time.Duration, timeScale float64, withPprof bool) {
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		log.Fatalf("gateway: read plan: %v", err)
+	}
+	plan, err := fleet.ParsePlan(data)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	f, err := fleet.New(plan, fleet.Options{
+		TuneEvery: decideEvery,
+		BackendFor: func(gi int, g fleet.Group) gateway.Backend {
+			lead := plan.Classes[g.Classes[0]]
+			for _, ci := range g.Classes[1:] {
+				if plan.Classes[ci].SLO < lead.SLO {
+					lead = plan.Classes[ci]
+				}
+			}
+			return gateway.SimulatedBackend{
+				Profile:   lambda.Profiles[g.Profile],
+				Pricing:   lead.LambdaPricing(),
+				TimeScale: timeScale,
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	handler := http.Handler(f.Handler())
+	if withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	names := make([]string, len(plan.Classes))
+	for i, spec := range plan.Classes {
+		names[i] = spec.Name
+	}
+	fmt.Printf("gateway fleet listening on %s: %d classes (%s) on %d groups (POST /infer?class=<name>, GET /stats, /config, /metrics)\n",
+		addr, len(plan.Classes), strings.Join(names, ","), f.Groups())
+	if err := http.ListenAndServe(addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -5,6 +5,12 @@
 //	loadgen -loop closed -clients 16 -duration 3s          # saturation run
 //	loadgen -loop open -requests 5000 -rate 2000 -seed 42  # deterministic replay
 //	loadgen -loop open -requests 5000 -rate 2000 -sweep 1,2,4,8
+//	loadgen -plan fleet.json -requests 5000 -seed 42       # multi-class fleet
+//
+// With -plan the open loop drives a fleet instead of a single gateway: each
+// plan class emits its own seeded Poisson stream at its rate_rps, the merged
+// stream routes through the fleet front door, and the table breaks out one
+// row per class with goodput judged against that class's own SLO.
 //
 // The open loop replays a seeded Poisson arrival process on a virtual
 // clock: same seed, same table, on any machine — which is what makes
@@ -22,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"deepbat/internal/fleet"
 	"deepbat/internal/lambda"
 	"deepbat/internal/loadgen"
 	"deepbat/internal/sweep"
@@ -29,6 +36,7 @@ import (
 
 func main() {
 	loop := flag.String("loop", "closed", "traffic loop: closed | open")
+	planPath := flag.String("plan", "", "fleet plan JSON file: drive a multi-class fleet with per-class Poisson streams (open loop)")
 	shards := flag.Int("shards", 0, "gateway shard count (0 = GOMAXPROCS)")
 	sweepList := flag.String("sweep", "", "comma-separated shard counts to sweep (overrides -shards)")
 	workers := flag.Int("workers", 0, "open-loop sweep fan-out workers (0 = GOMAXPROCS; rows are identical at any count)")
@@ -60,6 +68,16 @@ func main() {
 	}
 	if *loop == "open" && cfg.Requests == 0 {
 		cfg.Requests = 5000
+	}
+	if *planPath != "" {
+		if *sweepList != "" {
+			log.Fatal("loadgen: -plan and -sweep are mutually exclusive")
+		}
+		if cfg.Requests == 0 {
+			cfg.Requests = 5000
+		}
+		runFleet(*planPath, cfg, *assert)
+		return
 	}
 
 	counts := []int{cfg.Shards}
@@ -112,6 +130,55 @@ func main() {
 		fmt.Println("loadgen: ASSERT FAILED (goodput must be > 0 with zero failed requests)")
 		os.Exit(1)
 	}
+}
+
+// runFleet drives the fleet open loop from a plan file and prints one row
+// per class plus the fleet-wide total.
+func runFleet(planPath string, cfg loadgen.Config, assert bool) {
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		log.Fatalf("loadgen: read plan: %v", err)
+	}
+	plan, err := fleet.ParsePlan(data)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	res, err := loadgen.RunFleetOpen(plan, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printFleetHeader()
+	ok := true
+	for _, r := range res.PerClass {
+		printFleetRow(r)
+		if r.Requests > 0 && (r.GoodputRPS <= 0 || r.Failed > 0) {
+			ok = false
+		}
+	}
+	printFleetRow(res.Total)
+	if res.Total.GoodputRPS <= 0 || res.Total.Failed > 0 {
+		ok = false
+	}
+	if assert && !ok {
+		fmt.Println("loadgen: ASSERT FAILED (goodput must be > 0 with zero failed requests)")
+		os.Exit(1)
+	}
+}
+
+func printFleetHeader() {
+	fmt.Printf("%-12s %7s %9s %8s %12s %12s %9s %9s %9s %12s\n",
+		"class", "shards", "requests", "failed",
+		"throughput", "goodput", "p50_ms", "p95_ms", "p99_ms", "cost_usd")
+}
+
+func printFleetRow(r loadgen.Report) {
+	label := r.Class
+	if label == "" {
+		label = "total"
+	}
+	fmt.Printf("%-12s %7d %9d %8d %12.1f %12.1f %9.3f %9.3f %9.3f %12.6f\n",
+		label, r.Shards, r.Requests, r.Failed,
+		r.ThroughputRPS, r.GoodputRPS, r.P50MS, r.P95MS, r.P99MS, r.TotalCostUSD)
 }
 
 func parseSweep(s string) []int {

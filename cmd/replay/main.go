@@ -9,6 +9,14 @@
 //	replay -name flashcrowd -scale 2 -json              # 2x rate, JSON report
 //	replay -trace azure.tracev1 -fault-error-rate 0.05  # with injected faults
 //	replay -name azure -sweep 1,2,4 -workers 0          # parallel shard sweep
+//	replay -name corrburst -plan fleet.json -optimize   # fleet front door
+//
+// With -plan the class-labeled trace replays through a fleet front door:
+// every trace class routes by name to the plan class of the same name, each
+// function group runs the real gateway hot path, and the report breaks out
+// per-class goodput against per-class SLOs. -optimize first runs the fleet
+// planner (solo ground-truth search per class plus the plan's merge pass)
+// over the trace's per-class arrival windows.
 //
 // Replays are byte-reproducible: the same trace file (or name + spec) and
 // flags produce the identical report on any machine, which is what
@@ -28,6 +36,7 @@ import (
 	"strings"
 
 	"deepbat/internal/fault"
+	"deepbat/internal/fleet"
 	"deepbat/internal/lambda"
 	"deepbat/internal/obs"
 	"deepbat/internal/replay"
@@ -51,6 +60,8 @@ func main() {
 	faultRate := flag.Float64("fault-error-rate", 0, "injected backend failure probability")
 	faultStraggler := flag.Float64("fault-straggler-rate", 0, "injected straggler probability")
 	faultSeed := flag.Int64("fault-seed", 0, "fault plan seed (0 = the trace's seed)")
+	planPath := flag.String("plan", "", "fleet plan JSON file: replay through the fleet front door, routing trace classes by name")
+	optimize := flag.Bool("optimize", false, "with -plan: run the fleet planner (and its merge pass) before replaying")
 	sweepList := flag.String("sweep", "", "comma-separated shard counts replayed as a parallel fan-out (overrides -shards)")
 	workers := flag.Int("workers", 0, "sweep fan-out workers (0 = GOMAXPROCS; reports are identical at any count)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of the text table")
@@ -63,6 +74,7 @@ func main() {
 		initial: lambda.Config{MemoryMB: *memory, BatchSize: *batch, TimeoutS: *timeout},
 		scale:   *scale, window: *window,
 		faultRate: *faultRate, faultStraggler: *faultStraggler, faultSeed: *faultSeed,
+		planPath: *planPath, optimize: *optimize,
 		sweepList: *sweepList, workers: *workers,
 		asJSON: *asJSON, metricsOut: *metricsOut,
 	}
@@ -84,6 +96,8 @@ type options struct {
 	scale, window             float64
 	faultRate, faultStraggler float64
 	faultSeed                 int64
+	planPath                  string
+	optimize                  bool
 	sweepList                 string
 	workers                   int
 	asJSON                    bool
@@ -94,6 +108,17 @@ func run(o options) error {
 	t, err := loadTrace(o.tracePath, o.name, o.hours, o.hourSeconds, o.seed)
 	if err != nil {
 		return err
+	}
+	if o.planPath != "" {
+		switch {
+		case o.sweepList != "":
+			return fmt.Errorf("-plan and -sweep are mutually exclusive")
+		case o.faultRate > 0 || o.faultStraggler > 0:
+			return fmt.Errorf("fault injection is not supported with -plan")
+		case o.metricsOut != "":
+			return fmt.Errorf("-metrics is not supported with -plan (use the gateway's /metrics.json)")
+		}
+		return runFleet(o, t)
 	}
 	plan := fault.Plan{Seed: o.faultSeed, ErrorRate: o.faultRate, StragglerRate: o.faultStraggler}
 	if plan.Active() && plan.Seed == 0 {
@@ -124,6 +149,64 @@ func run(o options) error {
 		return writeJSON(os.Stdout, rep)
 	}
 	return rep.WriteText(os.Stdout)
+}
+
+// runFleet replays the trace through the fleet front door declared by the
+// plan file, optionally running the planner over the trace's per-class
+// windows first.
+func runFleet(o options, t *workload.Trace) error {
+	data, err := os.ReadFile(o.planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := fleet.ParsePlan(data)
+	if err != nil {
+		return err
+	}
+	cfg := replay.FleetConfig{Trace: t, Plan: plan, TimeScale: o.scale}
+	if o.optimize {
+		windows, err := fleetWindows(plan, t, o.scale)
+		if err != nil {
+			return err
+		}
+		a, err := fleet.Optimize(plan, windows, fleet.OptimizerConfig{Workers: o.workers})
+		if err != nil {
+			return err
+		}
+		cfg.Assignment = a
+	}
+	rep, err := replay.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	if o.asJSON {
+		return writeJSON(os.Stdout, rep)
+	}
+	return rep.WriteText(os.Stdout)
+}
+
+// fleetWindows splits the trace's arrivals into one time-scaled window per
+// plan class, routing trace classes by name. Plan classes absent from the
+// trace get empty (idle) windows.
+func fleetWindows(p fleet.Plan, t *workload.Trace, scale float64) ([][]float64, error) {
+	ts := 1.0
+	if scale > 0 {
+		ts = scale
+	}
+	classMap := make([]int, len(t.Header.Classes))
+	for ti, name := range t.Header.Classes {
+		ci := p.ClassIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("trace class %q is not a plan class", name)
+		}
+		classMap[ti] = ci
+	}
+	windows := make([][]float64, len(p.Classes))
+	for _, rq := range t.Reqs {
+		ci := classMap[rq.Class]
+		windows[ci] = append(windows[ci], rq.AtS/ts)
+	}
+	return windows, nil
 }
 
 // runSweep replays the trace once per -sweep shard count through the
@@ -219,7 +302,7 @@ func loadTrace(tracePath, name string, hours int, hourSeconds float64, seed int6
 	}
 }
 
-func writeJSON(w io.Writer, rep replay.Report) error {
+func writeJSON(w io.Writer, rep any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

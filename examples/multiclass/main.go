@@ -12,8 +12,8 @@ import (
 
 	"deepbat"
 	"deepbat/internal/core"
+	"deepbat/internal/fleet"
 	"deepbat/internal/lambda"
-	"deepbat/internal/multiclass"
 )
 
 func main() {
@@ -41,7 +41,7 @@ func main() {
 		LookbackS:     40,
 		InitialConfig: deepbat.Config{MemoryMB: 2048, BatchSize: 4, TimeoutS: 0.05},
 	}
-	coord, err := multiclass.NewCoordinator([]multiclass.Class{
+	coord, err := fleet.NewCoordinator([]fleet.Class{
 		{
 			Name:    "speech",
 			Profile: lambda.Profiles["nlp-base"],
@@ -63,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	stream := multiclass.MixStreams(map[string][]float64{
+	stream := fleet.MixStreams(map[string][]float64{
 		"speech": speechTrace.Timestamps,
 		"vision": visionTrace.Timestamps,
 	})

@@ -14,7 +14,7 @@ func TestIDsComplete(t *testing.T) {
 		"ablations", "chaos",
 		"fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-		"obs", "scenarios", "timing",
+		"fleet", "obs", "scenarios", "timing",
 	}
 	got := IDs()
 	if len(got) != len(want) {

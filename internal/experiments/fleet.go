@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"deepbat/internal/fleet"
+	"deepbat/internal/replay"
+	"deepbat/internal/sweep"
+	"deepbat/internal/workload"
+)
+
+// FleetExp evaluates the fleet planner end to end: {class count x SLO
+// spread x merge on/off}, where each cell plans a fleet over a correlated-
+// burst trace's per-class arrival windows (solo ground-truth search per
+// class, then the HarmonyBatch-style merge pass when enabled) and replays
+// the class-labeled trace through the real fleet front door under the
+// resulting assignment. Cells fan out across sweep workers; every cell's
+// planner runs its own grid searches serially and the replay driver is
+// single-threaded on a manual clock, so the table is byte-identical at any
+// -workers value. The rows to read: at spread > 1 the merge pass packs
+// SLO-compatible classes onto shared groups and the predicted AND actual
+// cost drop versus the per-class-only plan, while every class still meets
+// its own SLO.
+func FleetExp(l *Lab) (*Report, error) {
+	rep := &Report{ID: "fleet", Title: "Fleet planning: {class count x SLO spread x merge} through the fleet front door"}
+
+	counts := []int{2, 3}
+	spreads := []float64{1, 4}
+	merges := []bool{false, true}
+	const baseSLO = 0.2
+
+	// Phase 1: one correlated-burst trace per class count, shared by the
+	// matrix cells below through the lab's read-only cache.
+	traces := make([]*workload.Trace, len(counts))
+	if err := l.sweep(len(counts), func(c *sweep.Cell) error {
+		spec := workload.DefaultSpec("corrburst")
+		spec.Hours, spec.HourSeconds = 2, 30
+		spec.Classes = counts[c.Index]
+		t, err := l.WL.Generate(spec)
+		if err != nil {
+			return err
+		}
+		traces[c.Index] = t
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, t := range traces {
+		digest, err := l.WL.Digest(t)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddNote("%d classes: corrburst, %d requests, tracev1 digest %016x",
+			counts[i], len(t.Reqs), digest)
+	}
+
+	// Phase 2: the full matrix. Class i's SLO is baseSLO*spread^i, so
+	// spread=1 is the single-SLO control and spread=4 the multi-SLO case the
+	// merge pass is for.
+	type cellKey struct{ ci, si, mi int }
+	cells := make([]cellKey, 0, len(counts)*len(spreads)*len(merges))
+	for ci := range counts {
+		for si := range spreads {
+			for mi := range merges {
+				cells = append(cells, cellKey{ci, si, mi})
+			}
+		}
+	}
+	rows := make([][]string, len(cells))
+	if err := l.sweep(len(cells), func(c *sweep.Cell) error {
+		k := cells[c.Index]
+		t := traces[k.ci]
+		plan := fleet.Plan{Merge: merges[k.mi]}
+		for i, name := range t.Header.Classes {
+			plan.Classes = append(plan.Classes, fleet.ClassSpec{
+				Name: name,
+				SLO:  baseSLO * math.Pow(spreads[k.si], float64(i)),
+			})
+		}
+		windows := make([][]float64, len(plan.Classes))
+		for _, rq := range t.Reqs {
+			windows[rq.Class] = append(windows[rq.Class], rq.AtS)
+		}
+		a, err := fleet.Optimize(plan, windows, fleet.OptimizerConfig{Workers: 1})
+		if err != nil {
+			return fmt.Errorf("fleet: plan %dx%g: %w", counts[k.ci], spreads[k.si], err)
+		}
+		r, err := replay.RunFleet(replay.FleetConfig{Trace: t, Plan: plan, Assignment: a, Cache: l.WL})
+		if err != nil {
+			return fmt.Errorf("fleet: replay %dx%g: %w", counts[k.ci], spreads[k.si], err)
+		}
+		// The binding SLO view: the worst per-class p95 as a fraction of that
+		// class's own SLO (<= 1 means every class met its objective).
+		worst := 0.0
+		for _, row := range r.Classes {
+			if ratio := row.P95MS / (row.SLO * 1000); ratio > worst {
+				worst = ratio
+			}
+		}
+		mergeLabel := "off"
+		if merges[k.mi] {
+			mergeLabel = "on"
+		}
+		rows[c.Index] = []string{
+			fmtI(counts[k.ci]), fmtF(spreads[k.si]), mergeLabel,
+			fmtI(len(a.Groups)), fmtUSD(a.SplitCostUSD), fmtUSD(a.MergedCostUSD),
+			fmtUSD(r.CostUSD), fmtF(r.Totals.GoodputRPS), fmtF(worst),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	tbl := rep.AddTable("planner + fleet replay: corrburst, 2 paper-hours at 30 s/hour, SLO_i = 0.2s x spread^i",
+		"classes", "spread", "merge", "groups", "pred_split", "pred_merged",
+		"cost", "good_rps", "worst_p95/slo")
+	for _, row := range rows {
+		tbl.AddRow(row...)
+	}
+	rep.AddNote("merge acceptance: a unit joins a group only if the merged window's best (M,B,T) still meets the group's strictest SLO at p95 AND predicts strictly cheaper than the split groups")
+	rep.AddNote("pred_split = predicted cost with every class on its own group; pred_merged = predicted cost of the final grouping; cost = actual replayed spend")
+	return rep, nil
+}

@@ -37,6 +37,9 @@ var registry = map[string]Runner{
 	// Scenarios: the workload zoo replayed through the real gateway hot
 	// path (internal/workload + internal/replay), {trace x fault x SLO}.
 	"scenarios": Scenarios,
+	// Fleet: the multi-SLO planner (solo search + merge pass) evaluated
+	// through the fleet front door, {class count x SLO spread x merge}.
+	"fleet": FleetExp,
 }
 
 // IDs returns the registered experiment identifiers in sorted order.

@@ -1,11 +1,10 @@
-// Package multiclass extends DeepBAT toward MBS (Ali et al., VLDB'22), the
-// multi-class successor of BATCH that the paper cites: several inference
-// model classes are served side by side, each with its own service-time
-// profile, SLO, batching buffer, and controller, over a single mixed arrival
-// stream. Requests carry a class label; the coordinator demultiplexes the
-// stream, runs one closed-loop engine per class, and aggregates per-class
-// and overall SLO/cost accounting.
-package multiclass
+// The qsim-level multi-class coordinator, absorbed from the former
+// internal/multiclass package: several model classes served side by side
+// over one labeled stream, each with its own closed-loop engine — the MBS
+// (Ali et al., VLDB'22) direction the paper cites. The Coordinator is the
+// simulation-time counterpart of the Fleet front door: same demultiplexing,
+// but over core.Engine replays instead of live gateways.
+package fleet
 
 import (
 	"errors"
@@ -17,7 +16,7 @@ import (
 	"deepbat/internal/stats"
 )
 
-// Class describes one model class to serve.
+// Class describes one model class the Coordinator serves.
 type Class struct {
 	Name    string
 	Profile lambda.Profile
@@ -25,7 +24,8 @@ type Class struct {
 	SLO     float64
 	// Decider controls this class's configuration over time.
 	Decider core.Decider
-	// Replay options for this class (period, lookback, initial config).
+	// Options are this class's replay options (period, lookback, initial
+	// config).
 	Options core.ReplayOptions
 }
 
@@ -63,24 +63,24 @@ type Coordinator struct {
 // NewCoordinator validates and registers the classes.
 func NewCoordinator(classes []Class) (*Coordinator, error) {
 	if len(classes) == 0 {
-		return nil, errors.New("multiclass: no classes")
+		return nil, errors.New("fleet: no classes")
 	}
 	c := &Coordinator{classes: make(map[string]Class, len(classes))}
 	for _, cl := range classes {
 		if cl.Name == "" {
-			return nil, errors.New("multiclass: class with empty name")
+			return nil, errors.New("fleet: class with empty name")
 		}
 		if _, dup := c.classes[cl.Name]; dup {
-			return nil, fmt.Errorf("multiclass: duplicate class %q", cl.Name)
+			return nil, fmt.Errorf("fleet: duplicate class %q", cl.Name)
 		}
 		if cl.Decider == nil {
-			return nil, fmt.Errorf("multiclass: class %q has no decider", cl.Name)
+			return nil, fmt.Errorf("fleet: class %q has no decider", cl.Name)
 		}
 		if !cl.Options.InitialConfig.Valid() {
-			return nil, fmt.Errorf("multiclass: class %q has invalid initial config", cl.Name)
+			return nil, fmt.Errorf("fleet: class %q has invalid initial config", cl.Name)
 		}
 		if cl.SLO <= 0 {
-			return nil, fmt.Errorf("multiclass: class %q has non-positive SLO", cl.Name)
+			return nil, fmt.Errorf("fleet: class %q has non-positive SLO", cl.Name)
 		}
 		c.classes[cl.Name] = cl
 		c.order = append(c.order, cl.Name)
@@ -94,7 +94,7 @@ func (c *Coordinator) Split(reqs []Request) (map[string][]float64, error) {
 	out := make(map[string][]float64, len(c.classes))
 	for _, r := range reqs {
 		if _, ok := c.classes[r.Class]; !ok {
-			return nil, fmt.Errorf("multiclass: unknown class %q", r.Class)
+			return nil, fmt.Errorf("fleet: unknown class %q", r.Class)
 		}
 		out[r.Class] = append(out[r.Class], r.At)
 	}
@@ -105,7 +105,7 @@ func (c *Coordinator) Split(reqs []Request) (map[string][]float64, error) {
 // Classes with no traffic are skipped.
 func (c *Coordinator) Replay(reqs []Request) (*Summary, error) {
 	if len(reqs) == 0 {
-		return nil, errors.New("multiclass: empty stream")
+		return nil, errors.New("fleet: empty stream")
 	}
 	split, err := c.Split(reqs)
 	if err != nil {
@@ -124,7 +124,7 @@ func (c *Coordinator) Replay(reqs []Request) (*Summary, error) {
 		opts.SLO = cl.SLO
 		res, err := eng.Replay(arrivals, cl.Decider, opts)
 		if err != nil {
-			return nil, fmt.Errorf("multiclass: class %q: %w", name, err)
+			return nil, fmt.Errorf("fleet: class %q: %w", name, err)
 		}
 		sum.PerClass = append(sum.PerClass, ClassResult{Class: name, Result: res})
 		n := len(res.Latencies())
@@ -137,7 +137,7 @@ func (c *Coordinator) Replay(reqs []Request) (*Summary, error) {
 		weighted += vcr * float64(n)
 	}
 	if sum.Requests == 0 {
-		return nil, errors.New("multiclass: no class received traffic")
+		return nil, errors.New("fleet: no class received traffic")
 	}
 	sum.MeanVCR = weighted / float64(sum.Requests)
 	return sum, nil

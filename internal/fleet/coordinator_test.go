@@ -1,4 +1,4 @@
-package multiclass
+package fleet
 
 import (
 	"sort"

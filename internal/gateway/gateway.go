@@ -560,16 +560,39 @@ func (g *Gateway) decideOnce() {
 		return
 	}
 	g.smu.Lock()
-	cur := g.active.Load()
-	if cfg != cur.cfg {
-		g.active.Store(&activeCfg{cfg: cfg, str: cfg.String()})
-		g.reconfigs++
-		g.met.reconfigs.Inc()
-		g.met.setConfig(cfg)
-		g.rec.Event("reconfigure",
-			obs.S("from", cur.str), obs.S("to", cfg.String()))
-	}
+	g.applyLocked(cfg)
 	g.smu.Unlock()
+}
+
+// applyLocked installs cfg as the active configuration (no-op when it is
+// already active), with the same accounting the control loop performs:
+// reconfiguration counters, config gauges, and a reconfigure event. The
+// caller holds g.smu.
+func (g *Gateway) applyLocked(cfg lambda.Config) {
+	cur := g.active.Load()
+	if cfg == cur.cfg {
+		return
+	}
+	g.active.Store(&activeCfg{cfg: cfg, str: cfg.String()})
+	g.reconfigs++
+	g.met.reconfigs.Inc()
+	g.met.setConfig(cfg)
+	g.rec.Event("reconfigure",
+		obs.S("from", cur.str), obs.S("to", cfg.String()))
+}
+
+// Reconfigure applies cfg as the active serving configuration outside the
+// control loop — the hook an external controller (the fleet planner) uses to
+// push a decision onto a running gateway. Shards pick the configuration up
+// when they open their next batch, exactly as for a control-loop decision.
+func (g *Gateway) Reconfigure(cfg lambda.Config) error {
+	if !cfg.Valid() {
+		return errors.New("gateway: invalid configuration " + cfg.String())
+	}
+	g.smu.Lock()
+	g.applyLocked(cfg)
+	g.smu.Unlock()
+	return nil
 }
 
 // Config returns the active configuration.

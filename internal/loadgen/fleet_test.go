@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"deepbat/internal/fleet"
+)
+
+func fleetRatePlan() fleet.Plan {
+	return fleet.Plan{Classes: []fleet.ClassSpec{
+		{Name: "premium", SLO: 0.15, RateRPS: 200, Shards: 1},
+		{Name: "standard", SLO: 0.5, RateRPS: 100, Shards: 1},
+	}}
+}
+
+func TestRunFleetOpen(t *testing.T) {
+	res, err := RunFleetOpen(fleetRatePlan(), Config{Requests: 600, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("per-class rows = %d, want 2", len(res.PerClass))
+	}
+	total := 0
+	for _, r := range res.PerClass {
+		if r.Mode != "open" || r.Class == "" {
+			t.Errorf("row = %+v, want labeled open-loop row", r)
+		}
+		if r.Failed != 0 {
+			t.Errorf("class %s failed %d requests on a clean backend", r.Class, r.Failed)
+		}
+		if r.Requests > 0 && r.GoodputRPS <= 0 {
+			t.Errorf("class %s has traffic but no goodput", r.Class)
+		}
+		total += r.Requests
+	}
+	if total != 600 || res.Total.Requests != 600 {
+		t.Fatalf("requests: per-class %d, total %d, want 600", total, res.Total.Requests)
+	}
+	// The heavier class draws roughly twice the traffic.
+	if res.PerClass[0].Requests <= res.PerClass[1].Requests {
+		t.Errorf("premium (200 rps) drew %d <= standard (100 rps) %d",
+			res.PerClass[0].Requests, res.PerClass[1].Requests)
+	}
+	if res.Total.TotalCostUSD <= 0 {
+		t.Errorf("total cost = %g, want positive", res.Total.TotalCostUSD)
+	}
+}
+
+// TestRunFleetOpenDeterministic pins the byte-reproducibility contract:
+// same plan + Config, byte-identical FleetResult document.
+func TestRunFleetOpenDeterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := RunFleetOpen(fleetRatePlan(), Config{Requests: 400, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Errorf("fleet open-loop results differ across same-seed runs:\n%s\n%s", a, b)
+	}
+}
+
+// TestRunFleetOpenBatchedFlushes exercises the virtual batch-timeout path:
+// a batched class must have its partial batches flushed in virtual time, not
+// parked until Stop.
+func TestRunFleetOpenBatchedFlushes(t *testing.T) {
+	p := fleet.Plan{Classes: []fleet.ClassSpec{{
+		Name: "batched", SLO: 0.5, RateRPS: 50, Shards: 1,
+		Initial: &fleet.ConfigSpec{MemoryMB: 2048, BatchSize: 8, TimeoutS: 0.05},
+	}}}
+	res, err := RunFleetOpen(p, Config{Requests: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.PerClass[0]
+	if r.Served != 200 || r.Failed != 0 {
+		t.Fatalf("row = %+v, want all 200 served", r)
+	}
+	// At 50 rps with an 8-deep batch and a 50 ms timer, most batches flush by
+	// timeout — latencies must reflect the timer, not a 1-hour parking.
+	if r.P95MS > 1000 {
+		t.Errorf("p95 = %.1fms, want timer-bounded latency", r.P95MS)
+	}
+}
+
+func TestRunFleetOpenErrors(t *testing.T) {
+	if _, err := RunFleetOpen(fleetRatePlan(), Config{}); err == nil {
+		t.Error("want error without Requests")
+	}
+	idle := fleet.Plan{Classes: []fleet.ClassSpec{{Name: "a", SLO: 0.1}}}
+	if _, err := RunFleetOpen(idle, Config{Requests: 10}); err == nil {
+		t.Error("want error with no positive-rate class")
+	}
+	bad := fleetRatePlan()
+	bad.Classes[1].Name = bad.Classes[0].Name
+	if _, err := RunFleetOpen(bad, Config{Requests: 10}); err == nil {
+		t.Error("want error for invalid plan")
+	}
+}

@@ -61,7 +61,10 @@ type Config struct {
 // Report is the outcome of one run. All latency figures are milliseconds on
 // the gateway's clock (wall for closed loop, virtual for open loop).
 type Report struct {
-	Mode          string  `json:"mode"` // "closed" | "open"
+	Mode string `json:"mode"` // "closed" | "open"
+	// Class labels per-class rows in fleet runs (empty for single-gateway
+	// runs and for fleet totals).
+	Class         string  `json:"class,omitempty"`
 	Shards        int     `json:"shards"`
 	Legacy        bool    `json:"legacy"`
 	Requests      int     `json:"requests"` // issued
